@@ -1,0 +1,90 @@
+//! Criterion benches for the end-to-end constraint derivation — the
+//! polynomial-complexity claim of thesis Sec. 5.6.1, measured per
+//! benchmark circuit, plus an ablation of the relaxation-order policy
+//! (tightest-first vs the arc picked by naive label order — Fig. 5.23's
+//! point that order changes the work done).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use si_core::derive_timing_constraints;
+
+fn bench_derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derive_timing_constraints");
+    group.sample_size(10);
+    for bench in si_suite::benchmarks() {
+        let Ok((stg, library)) = bench.circuit() else {
+            continue;
+        };
+        group.bench_function(bench.name, |b| {
+            b.iter_batched(
+                || (stg.clone(), library.clone()),
+                |(stg, library)| derive_timing_constraints(&stg, &library).expect("derives"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_only(c: &mut Criterion) {
+    // The baseline (Keller et al.) set needs only projection, no
+    // relaxation loop: the gap to the full derivation is the cost of the
+    // paper's contribution.
+    let mut group = c.benchmark_group("baseline_projection_only");
+    group.sample_size(10);
+    for name in ["imec-ram-read-sbuf", "fifo", "trimos-send"] {
+        let bench = si_suite::benchmark(name).expect("bundled");
+        let Ok((stg, library)) = bench.circuit() else {
+            continue;
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let components = stg.mg_components(4096).expect("free choice");
+                let mut count = 0usize;
+                for a in stg.gate_signals() {
+                    let gate = library.gate(stg.signal_name(a)).expect("present");
+                    let ctx = si_core::GateContext::bind(gate, &stg).expect("binds");
+                    for component in &components {
+                        if let Ok(local) = si_core::LocalStg::project_from(component, &ctx) {
+                            count += local.input_to_input_arcs().len();
+                        }
+                    }
+                }
+                count
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_order_ablation(c: &mut Criterion) {
+    // Sec. 5.5 ablation: cost of the two relaxation-order policies.
+    use si_core::{derive_timing_constraints_with_order, RelaxationOrder};
+    let mut group = c.benchmark_group("relaxation_order");
+    group.sample_size(10);
+    let bench = si_suite::benchmark("imec-ram-read-sbuf").expect("bundled");
+    let Ok((stg, library)) = bench.circuit() else {
+        return;
+    };
+    for (name, order) in [
+        ("tightest_first", RelaxationOrder::TightestFirst),
+        ("lexicographic", RelaxationOrder::Lexicographic),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                derive_timing_constraints_with_order(&stg, &library, order)
+                    .expect("derives")
+                    .constraints
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_derivation,
+    bench_baseline_only,
+    bench_order_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Regenerates thesis Table 7.2: for all thirteen benchmarks, the number
+//! of timing constraints before relaxation (the Keller-et-al. adversary
+//! path conditions), after relaxation, the `≤5`- and `≤3`-level buckets,
+//! the implementation-STG state count and the CPU time; the bottom line is
+//! the total after/before ratio — the paper's headline ≈40 % reduction.
+
+use si_bench::table_row;
+
+fn main() {
+    println!("Table 7.2 — Comparison of the timing constraints");
+    println!(
+        "{:<20} {:>3} {:>4} {:>5} {:>7} | {:>7} {:>6} | {:>8} {:>7} | {:>8} {:>7} | {:>8}",
+        "Name",
+        "in",
+        "out",
+        "gate",
+        "states",
+        "adv.bef",
+        "adv.aft",
+        "<=5.bef",
+        "<=5.aft",
+        "<=3.bef",
+        "<=3.aft",
+        "CPU(s)"
+    );
+    let (mut tb, mut ta) = (0usize, 0usize);
+    let (mut t5b, mut t5a, mut t3b, mut t3a) = (0usize, 0usize, 0usize, 0usize);
+    for bench in si_suite::benchmarks() {
+        match table_row(&bench) {
+            Ok((row, _)) => {
+                tb += row.before;
+                ta += row.after;
+                t5b += row.lvl5.0;
+                t5a += row.lvl5.1;
+                t3b += row.lvl3.0;
+                t3a += row.lvl3.1;
+                println!(
+                    "{:<20} {:>3} {:>4} {:>5} {:>7} | {:>7} {:>6} | {:>8} {:>7} | {:>8} {:>7} | {:>8.3}",
+                    row.name, row.inputs, row.outputs, row.gates, row.states, row.before,
+                    row.after, row.lvl5.0, row.lvl5.1, row.lvl3.0, row.lvl3.1, row.cpu
+                );
+            }
+            Err(e) => println!("{:<20} ERROR: {e}", bench.name),
+        }
+    }
+    println!();
+    let pct = |a: usize, b: usize| {
+        if b == 0 {
+            100.0
+        } else {
+            100.0 * a as f64 / b as f64
+        }
+    };
+    println!(
+        "Total ratio after/before = {:.1}%   (<=5 level: {:.1}%, <=3 level: {:.1}%)",
+        pct(ta, tb),
+        pct(t5a, t5b),
+        pct(t3a, t3b),
+    );
+    println!("Thesis totals for reference: 63.9% (all), 60.0% (<=5), 57.5% (<=3)");
+}

@@ -1,0 +1,234 @@
+//! Quine–McCluskey prime generation and irredundant cover selection.
+//!
+//! Exact two-level minimization: good enough for the small support sets of
+//! SI control gates (the thesis benchmarks stay below 8 literals per gate).
+
+use std::collections::BTreeSet;
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+
+/// Generates all prime implicants of the incompletely specified function
+/// with the given `on`-set and `dc` (don't-care) minterms over `n` variables.
+///
+/// # Panics
+///
+/// Panics if `n > 20` (the procedure enumerates minterms).
+pub fn prime_implicants(on: &[u64], dc: &[u64], n: usize) -> Vec<Cube> {
+    assert!(n <= 20, "QM minterm enumeration is capped at 20 variables");
+    let care = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut current: BTreeSet<Cube> = on
+        .iter()
+        .chain(dc.iter())
+        .map(|&m| Cube::from_minterm(m, care))
+        .collect();
+    let mut primes: BTreeSet<Cube> = BTreeSet::new();
+
+    while !current.is_empty() {
+        let cubes: Vec<Cube> = current.iter().copied().collect();
+        let mut merged_flags = vec![false; cubes.len()];
+        let mut next: BTreeSet<Cube> = BTreeSet::new();
+        for i in 0..cubes.len() {
+            for j in (i + 1)..cubes.len() {
+                if let Some(m) = cubes[i].merge_one_apart(&cubes[j]) {
+                    merged_flags[i] = true;
+                    merged_flags[j] = true;
+                    next.insert(m);
+                }
+            }
+        }
+        for (i, cube) in cubes.iter().enumerate() {
+            if !merged_flags[i] {
+                primes.insert(*cube);
+            }
+        }
+        current = next;
+    }
+
+    // A prime must cover at least one on-set minterm (not only don't-cares).
+    primes
+        .into_iter()
+        .filter(|p| on.iter().any(|&m| p.eval(m)))
+        .collect()
+}
+
+/// Produces an irredundant prime cover of the function with the given
+/// on-set and don't-care set (thesis `f↑` / `f↓` form).
+///
+/// Selection: essential primes first, then greedy largest-cover, then a
+/// reverse-order redundancy prune, which guarantees irredundancy.
+///
+/// # Panics
+///
+/// Panics if `n > 20`.
+pub fn irredundant_cover(on: &[u64], dc: &[u64], n: usize) -> Cover {
+    if on.is_empty() {
+        return Cover::zero(n);
+    }
+    let primes = prime_implicants(on, dc, n);
+    let covers_of: Vec<Vec<usize>> = on
+        .iter()
+        .map(|&m| (0..primes.len()).filter(|&i| primes[i].eval(m)).collect())
+        .collect();
+
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut covered = vec![false; on.len()];
+
+    // Essential primes: sole cover of some minterm.
+    for (mi, cs) in covers_of.iter().enumerate() {
+        if cs.len() == 1 && !chosen.contains(&cs[0]) {
+            chosen.push(cs[0]);
+            let p = &primes[cs[0]];
+            for (k, &m) in on.iter().enumerate() {
+                if p.eval(m) {
+                    covered[k] = true;
+                }
+            }
+            let _ = mi;
+        }
+    }
+
+    // Greedy: repeatedly take the prime covering the most uncovered minterms,
+    // breaking ties toward fewer literals, then lower index (deterministic).
+    while covered.iter().any(|&b| !b) {
+        let mut best: Option<(usize, usize)> = None; // (gain, index)
+        for (i, p) in primes.iter().enumerate() {
+            if chosen.contains(&i) {
+                continue;
+            }
+            let gain = on
+                .iter()
+                .enumerate()
+                .filter(|&(k, &m)| !covered[k] && p.eval(m))
+                .count();
+            if gain == 0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bg, bi)) => {
+                    gain > bg
+                        || (gain == bg && primes[i].literal_count() < primes[bi].literal_count())
+                }
+            };
+            if better {
+                best = Some((gain, i));
+            }
+        }
+        let (_, i) = best.expect("primes cover the on-set");
+        chosen.push(i);
+        for (k, &m) in on.iter().enumerate() {
+            if primes[i].eval(m) {
+                covered[k] = true;
+            }
+        }
+    }
+
+    // Prune: drop any cube whose minterms are covered by the rest.
+    let mut keep: Vec<usize> = chosen.clone();
+    let mut i = keep.len();
+    while i > 0 {
+        i -= 1;
+        let candidate = keep[i];
+        let rest: Vec<usize> = keep.iter().copied().filter(|&j| j != candidate).collect();
+        let still_covered = on
+            .iter()
+            .all(|&m| !primes[candidate].eval(m) || rest.iter().any(|&j| primes[j].eval(m)));
+        if still_covered && !rest.is_empty() {
+            keep.remove(i);
+        }
+    }
+
+    keep.sort_unstable();
+    Cover::new(n, keep.into_iter().map(|i| primes[i]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth_table(f: impl Fn(u64) -> bool, n: usize) -> (Vec<u64>, Vec<u64>) {
+        let on: Vec<u64> = (0..(1u64 << n)).filter(|&s| f(s)).collect();
+        (on, Vec::new())
+    }
+
+    #[test]
+    fn primes_of_majority_function() {
+        // maj(a,b,c): primes are ab, ac, bc.
+        let (on, dc) = truth_table(|s| (s & 1) + ((s >> 1) & 1) + ((s >> 2) & 1) >= 2, 3);
+        let primes = prime_implicants(&on, &dc, 3);
+        assert_eq!(primes.len(), 3);
+        assert!(primes.iter().all(|p| p.literal_count() == 2));
+    }
+
+    #[test]
+    fn cover_reproduces_function() {
+        for n in 1..=4usize {
+            // Deterministic pseudo-random functions.
+            for seed in 0..8u64 {
+                let f = |s: u64| (s.wrapping_mul(seed * 2 + 7) ^ (s >> 1)) & 1 == 1;
+                let (on, dc) = truth_table(f, n);
+                let cover = irredundant_cover(&on, &dc, n);
+                for s in 0..(1u64 << n) {
+                    assert_eq!(cover.eval(s), f(s), "n={n} seed={seed} s={s:b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cover_is_irredundant() {
+        let (on, dc) = truth_table(|s| (s & 1) + ((s >> 1) & 1) + ((s >> 2) & 1) >= 2, 3);
+        let cover = irredundant_cover(&on, &dc, 3);
+        // Removing any cube must break the cover.
+        for skip in 0..cover.cubes().len() {
+            let reduced: Vec<Cube> = cover
+                .cubes()
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, c)| *c)
+                .collect();
+            let reduced = Cover::new(3, reduced);
+            assert!(
+                on.iter().any(|&m| !reduced.eval(m)),
+                "cube {skip} was redundant"
+            );
+        }
+    }
+
+    #[test]
+    fn dont_cares_enlarge_primes() {
+        // on = {11}, dc = {01, 10}: with don't-cares, f can be covered by
+        // single-literal primes instead of the two-literal minterm.
+        let on = vec![0b11];
+        let dc = vec![0b01, 0b10];
+        let cover = irredundant_cover(&on, &dc, 2);
+        assert!(cover.cubes().iter().all(|c| c.literal_count() <= 1));
+        assert!(cover.eval(0b11));
+    }
+
+    #[test]
+    fn constant_functions() {
+        assert_eq!(irredundant_cover(&[], &[], 3), Cover::zero(3));
+        let on: Vec<u64> = (0..8).collect();
+        let cover = irredundant_cover(&on, &[], 3);
+        assert_eq!(cover.cubes().len(), 1);
+        assert_eq!(cover.cubes()[0].literal_count(), 0);
+    }
+
+    #[test]
+    fn primes_must_touch_on_set() {
+        // All minterms are don't-cares except one off minterm: no primes.
+        let primes = prime_implicants(&[], &[0b0, 0b1], 1);
+        assert!(primes.is_empty());
+    }
+
+    #[test]
+    fn xor_needs_all_minterm_cubes() {
+        let (on, dc) = truth_table(|s| ((s & 1) ^ ((s >> 1) & 1)) == 1, 2);
+        let cover = irredundant_cover(&on, &dc, 2);
+        assert_eq!(cover.cubes().len(), 2);
+        assert!(cover.cubes().iter().all(|c| c.literal_count() == 2));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the two-level minimization engine: on random
+//! functions, the QM cover must reproduce the function exactly, be
+//! irredundant, consist of primes, and compose correctly with the
+//! complement and cofactor operations.
+
+use proptest::prelude::*;
+use si_boolean::{irredundant_cover, prime_implicants, Cover, Cube};
+
+fn random_function() -> impl Strategy<Value = (usize, Vec<u64>, Vec<u64>)> {
+    (2usize..=5).prop_flat_map(|n| {
+        let space = 1u64 << n;
+        let minterms = proptest::collection::btree_set(0..space, 0..(space as usize));
+        let dcs = proptest::collection::btree_set(0..space, 0..(space as usize / 2));
+        (Just(n), minterms, dcs).prop_map(|(n, on, dc)| {
+            let on: Vec<u64> = on.into_iter().collect();
+            let dc: Vec<u64> = dc.into_iter().filter(|m| !on.contains(m)).collect();
+            (n, on, dc)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn qm_cover_matches_the_care_set((n, on, dc) in random_function()) {
+        let cover = irredundant_cover(&on, &dc, n);
+        for s in 0..(1u64 << n) {
+            if on.contains(&s) {
+                prop_assert!(cover.eval(s), "on-minterm {s:b} uncovered");
+            } else if !dc.contains(&s) {
+                prop_assert!(!cover.eval(s), "off-minterm {s:b} covered");
+            }
+        }
+    }
+
+    #[test]
+    fn qm_cover_is_irredundant((n, on, dc) in random_function()) {
+        let cover = irredundant_cover(&on, &dc, n);
+        if cover.cubes().len() < 2 {
+            return Ok(());
+        }
+        for skip in 0..cover.cubes().len() {
+            let rest: Vec<Cube> = cover
+                .cubes()
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, c)| *c)
+                .collect();
+            let rest = Cover::new(n, rest);
+            prop_assert!(
+                on.iter().any(|&m| !rest.eval(m)),
+                "cube {skip} is redundant"
+            );
+        }
+    }
+
+    #[test]
+    fn every_cover_cube_is_prime((n, on, dc) in random_function()) {
+        let primes = prime_implicants(&on, &dc, n);
+        let cover = irredundant_cover(&on, &dc, n);
+        for cube in cover.cubes() {
+            prop_assert!(primes.contains(cube), "{cube:?} is not a prime implicant");
+        }
+    }
+
+    #[test]
+    fn complement_partitions_the_space((n, on, _dc) in random_function()) {
+        let cover = irredundant_cover(&on, &[], n);
+        let comp = cover.complement();
+        for s in 0..(1u64 << n) {
+            prop_assert!(cover.eval(s) != comp.eval(s), "state {s:b}");
+        }
+    }
+
+    #[test]
+    fn shannon_expansion_holds((n, on, _dc) in random_function()) {
+        let cover = irredundant_cover(&on, &[], n);
+        for var in 0..n {
+            let f1 = cover.cofactor(var, true);
+            let f0 = cover.cofactor(var, false);
+            for s in 0..(1u64 << n) {
+                let branch = if s & (1 << var) != 0 { f1.eval(s) } else { f0.eval(s) };
+                prop_assert_eq!(cover.eval(s), branch);
+            }
+        }
+    }
+}

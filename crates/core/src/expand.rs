@@ -1,0 +1,572 @@
+//! The per-gate relaxation loop — Algorithm 4 (`Expand`) of the thesis.
+//!
+//! While the local STG still contains unguaranteed type-4 arcs, pick the
+//! tightest (shortest adversary path), relax it, classify the result:
+//!
+//! - case 1 — accept;
+//! - case 2 — additionally relax `x ⇒ o`; if that restores conformance,
+//!   accept, otherwise decompose the OR-causality and recurse;
+//! - case 3 — decompose the OR-causality and recurse;
+//! - case 4 — reject the relaxation, emit the relative timing constraint
+//!   `gate: x* < y*` and mark the arc guaranteed.
+//!
+//! Decomposition dead-ends (no candidate clauses, empty solution groups or
+//! non-conformant sub-STGs) fall back to the sound case-4 treatment: the
+//! ordering is pinned by a constraint instead of being relaxed. This keeps
+//! the derived constraint set sufficient in every code path.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use si_stg::{StateGraph, TransitionLabel};
+
+use crate::check::{classify_states, conformance, prerequisite_sets, RelaxationCase};
+use crate::constraint::{Constraint, ConstraintAtom};
+use crate::error::CoreError;
+use crate::local::LocalStg;
+use crate::orcausality::{
+    build_sub_stgs_case2, build_sub_stgs_case3, find_candidate_clauses, find_candidate_transitions,
+    initial_restrictions, or_causality_decomposition,
+};
+use crate::paths::AdversaryOracle;
+use crate::relax::relax_arc;
+
+/// State-graph generation budget for local STGs.
+const SG_BUDGET: usize = 200_000;
+/// Maximum OR-causality recursion depth.
+const MAX_DEPTH: usize = 32;
+
+/// The policy picking which type-4 arc to relax next (thesis Sec. 5.5:
+/// different orders can yield different constraint sets, Fig. 5.23).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RelaxationOrder {
+    /// Tightest arc first: shortest adversary path, the thesis's policy
+    /// for the weakest constraint set.
+    #[default]
+    TightestFirst,
+    /// Naive textual order of arc labels — the ablation baseline.
+    Lexicographic,
+}
+
+/// One step of the relaxation trace (the thesis Fig. 7.3 narrative).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An arc was picked and relaxed, with the resulting case.
+    Relaxed {
+        /// The gate being expanded.
+        gate: String,
+        /// Rendered arc `x* => y*`.
+        arc: String,
+        /// The classification outcome (`1`–`4`, or `lagging`).
+        case: String,
+    },
+    /// Case 2 accepted after additionally relaxing `x ⇒ o`.
+    MadeConcurrentWithOutput {
+        /// The gate being expanded.
+        gate: String,
+        /// The transition made concurrent with the output.
+        transition: String,
+    },
+    /// An OR-causality decomposition produced sub-STGs.
+    Decomposed {
+        /// The gate being expanded.
+        gate: String,
+        /// Number of sub-STGs.
+        parts: usize,
+    },
+    /// A case-4 constraint was emitted.
+    ConstraintEmitted {
+        /// The constraint, rendered.
+        constraint: String,
+    },
+    /// A decomposition dead-end forced the conservative case-4 fallback.
+    Fallback {
+        /// The gate being expanded.
+        gate: String,
+        /// Why the fallback fired.
+        reason: String,
+    },
+}
+
+/// Accumulated result of expanding one or more local STGs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExpandOutcome {
+    /// The derived relative timing constraints (`Rt` of Algorithm 4).
+    pub constraints: BTreeSet<Constraint>,
+    /// Relaxation trace for reporting.
+    pub trace: Vec<TraceEvent>,
+    /// Total relaxation iterations across all (sub-)STGs.
+    pub iterations: usize,
+}
+
+fn atom(local: &LocalStg, label: TransitionLabel) -> ConstraintAtom {
+    ConstraintAtom::from_label(label, &local.mg.signal_names())
+}
+
+fn gate_name(local: &LocalStg) -> String {
+    local.mg.signal_name(local.ctx.output).to_string()
+}
+
+fn emit_constraint(local: &mut LocalStg, x: usize, y: usize, out: &mut ExpandOutcome) {
+    let c = Constraint {
+        gate: gate_name(local),
+        before: atom(local, local.mg.label(x)),
+        after: atom(local, local.mg.label(y)),
+    };
+    out.trace.push(TraceEvent::ConstraintEmitted {
+        constraint: c.to_string(),
+    });
+    out.constraints.insert(c);
+    local.mark_guaranteed(x, y);
+}
+
+/// Picks the next arc to relax under the chosen policy (Sec. 5.5);
+/// tightest-first breaks weight ties by label text for determinism.
+fn find_next_arc(
+    local: &LocalStg,
+    oracle: &AdversaryOracle,
+    order: RelaxationOrder,
+) -> Option<(usize, usize)> {
+    local.relaxable_arcs().into_iter().min_by_key(|&(a, b)| {
+        let la = local.mg.label(a);
+        let lb = local.mg.label(b);
+        let weight = match order {
+            RelaxationOrder::TightestFirst => oracle.weight_key(la, lb),
+            RelaxationOrder::Lexicographic => (false, 0),
+        };
+        (weight, local.mg.label_string(a), local.mg.label_string(b))
+    })
+}
+
+/// Expands one local STG to a fixpoint, accumulating constraints into
+/// `out` (Algorithm 4). Sub-STGs from OR-causality decompositions are
+/// processed recursively.
+///
+/// # Errors
+///
+/// [`CoreError::IterationBudgetExceeded`] when `budget` relaxation steps
+/// are exhausted, plus any STG-level error.
+pub fn expand(
+    local: LocalStg,
+    oracle: &AdversaryOracle,
+    budget: usize,
+    out: &mut ExpandOutcome,
+) -> Result<(), CoreError> {
+    expand_with_order(local, oracle, budget, RelaxationOrder::TightestFirst, out)
+}
+
+/// [`expand`] with an explicit relaxation-order policy (for the Sec. 5.5
+/// ablation).
+///
+/// # Errors
+///
+/// Same as [`expand`].
+pub fn expand_with_order(
+    mut local: LocalStg,
+    oracle: &AdversaryOracle,
+    budget: usize,
+    order: RelaxationOrder,
+    out: &mut ExpandOutcome,
+) -> Result<(), CoreError> {
+    expand_at(&mut local, oracle, budget, order, out, 0)
+}
+
+fn expand_at(
+    local: &mut LocalStg,
+    oracle: &AdversaryOracle,
+    budget: usize,
+    order: RelaxationOrder,
+    out: &mut ExpandOutcome,
+    depth: usize,
+) -> Result<(), CoreError> {
+    let gate = gate_name(local);
+    loop {
+        out.iterations += 1;
+        if out.iterations > budget {
+            return Err(CoreError::IterationBudgetExceeded { gate, budget });
+        }
+        let Some((x, y)) = find_next_arc(local, oracle, order) else {
+            return Ok(());
+        };
+        let arc_text = format!(
+            "{} => {}",
+            local.mg.label_string(x),
+            local.mg.label_string(y)
+        );
+
+        // Epre is computed on the STG *before* this relaxation.
+        let epre = prerequisite_sets(local);
+        let mut trial = local.clone();
+        relax_arc(&mut trial.mg, x, y)?;
+        let sg = StateGraph::of_mg(&trial.mg, SG_BUDGET)?;
+        let (case, report) = classify_states(&trial, &sg, &epre, Some(x))?;
+        out.trace.push(TraceEvent::Relaxed {
+            gate: gate.clone(),
+            arc: arc_text,
+            case: match case {
+                RelaxationCase::Case1 => "1",
+                RelaxationCase::Case2 => "2",
+                RelaxationCase::Case3 => "3",
+                RelaxationCase::Case4 => "4",
+                RelaxationCase::LaggingOnly => "lagging",
+            }
+            .to_string(),
+        });
+
+        match case {
+            RelaxationCase::Case1 => {
+                *local = trial;
+            }
+            RelaxationCase::Case4 => {
+                emit_constraint(local, x, y, out);
+            }
+            RelaxationCase::Case2 => {
+                let t_out = report.premature[0].1;
+                // Try the plain arc modification first: make x concurrent
+                // with the output transition.
+                if trial.mg.arc(x, t_out).is_some_and(|a| !a.restriction) {
+                    let mut modified = trial.clone();
+                    relax_arc(&mut modified.mg, x, t_out)?;
+                    let sg2 = StateGraph::of_mg(&modified.mg, SG_BUDGET)?;
+                    let (case2, _) = classify_states(&modified, &sg2, &epre, Some(x))?;
+                    if case2 == RelaxationCase::Case1 {
+                        out.trace.push(TraceEvent::MadeConcurrentWithOutput {
+                            gate: gate.clone(),
+                            transition: modified.mg.label_string(x),
+                        });
+                        *local = modified;
+                        continue;
+                    }
+                    // OR-causality in case 2: decompose from the modified
+                    // STG, with candidates judged on the SG before the
+                    // modification (thesis Sec. 6.1.1).
+                    match decompose(&trial, &sg, &modified, t_out, x, &epre)? {
+                        Some(subs) => {
+                            out.trace.push(TraceEvent::Decomposed {
+                                gate: gate.clone(),
+                                parts: subs.len(),
+                            });
+                            return recurse(subs, local, x, y, oracle, budget, order, out, depth);
+                        }
+                        None => {
+                            out.trace.push(TraceEvent::Fallback {
+                                gate: gate.clone(),
+                                reason: "case-2 decomposition dead end".to_string(),
+                            });
+                            emit_constraint(local, x, y, out);
+                        }
+                    }
+                } else {
+                    // No x ⇒ o arc to relax: conservative fallback.
+                    out.trace.push(TraceEvent::Fallback {
+                        gate: gate.clone(),
+                        reason: "case 2 without an x => o arc".to_string(),
+                    });
+                    emit_constraint(local, x, y, out);
+                }
+            }
+            RelaxationCase::Case3 | RelaxationCase::LaggingOnly => {
+                let t_out = match report.premature.first() {
+                    Some(&(_, t)) => t,
+                    None => match first_lagging_output(&trial, &sg, &report.lagging) {
+                        Some(t) => t,
+                        None => {
+                            out.trace.push(TraceEvent::Fallback {
+                                gate: gate.clone(),
+                                reason: "lagging state without output transition".to_string(),
+                            });
+                            emit_constraint(local, x, y, out);
+                            continue;
+                        }
+                    },
+                };
+                match decompose_case3(&trial, &sg, t_out, x, &epre)? {
+                    Some(subs) => {
+                        out.trace.push(TraceEvent::Decomposed {
+                            gate: gate.clone(),
+                            parts: subs.len(),
+                        });
+                        return recurse(subs, local, x, y, oracle, budget, order, out, depth);
+                    }
+                    None => {
+                        out.trace.push(TraceEvent::Fallback {
+                            gate: gate.clone(),
+                            reason: "case-3 decomposition dead end".to_string(),
+                        });
+                        emit_constraint(local, x, y, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Recurses into sub-STGs; if any sub-STG is itself non-conformant the
+/// whole decomposition is abandoned in favour of the case-4 constraint.
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    subs: Vec<LocalStg>,
+    local: &mut LocalStg,
+    x: usize,
+    y: usize,
+    oracle: &AdversaryOracle,
+    budget: usize,
+    order: RelaxationOrder,
+    out: &mut ExpandOutcome,
+    depth: usize,
+) -> Result<(), CoreError> {
+    if depth + 1 >= MAX_DEPTH {
+        out.trace.push(TraceEvent::Fallback {
+            gate: gate_name(local),
+            reason: "decomposition depth limit".to_string(),
+        });
+        emit_constraint(local, x, y, out);
+        return expand_at(local, oracle, budget, order, out, depth);
+    }
+    // Verify conformance of each sub-STG before committing to them.
+    for sub in &subs {
+        let sg = StateGraph::of_mg(&sub.mg, SG_BUDGET)?;
+        let rep = conformance(sub, &sg)?;
+        if !rep.is_conformant() {
+            out.trace.push(TraceEvent::Fallback {
+                gate: gate_name(local),
+                reason: "non-conformant sub-STG".to_string(),
+            });
+            emit_constraint(local, x, y, out);
+            return expand_at(local, oracle, budget, order, out, depth);
+        }
+    }
+    for mut sub in subs {
+        expand_at(&mut sub, oracle, budget, order, out, depth + 1)?;
+    }
+    Ok(())
+}
+
+fn first_lagging_output(local: &LocalStg, sg: &StateGraph, lagging: &[usize]) -> Option<usize> {
+    let o = local.ctx.output;
+    for &s in lagging {
+        for &(t, _) in &sg.edges[s] {
+            if sg.label(t).signal == o {
+                return Some(t);
+            }
+        }
+    }
+    None
+}
+
+/// Case-2 OR-causality decomposition: candidates from `sg_before` (the SG
+/// before the `x ⇒ o` modification), sub-STGs built on `base` (after it).
+fn decompose(
+    before: &LocalStg,
+    sg_before: &StateGraph,
+    base: &LocalStg,
+    t_out: usize,
+    x: usize,
+    epre: &BTreeMap<usize, BTreeSet<TransitionLabel>>,
+) -> Result<Option<Vec<LocalStg>>, CoreError> {
+    let empty = BTreeSet::new();
+    let e = epre.get(&t_out).unwrap_or(&empty);
+    let clauses = find_candidate_clauses(before, sg_before, t_out, e);
+    if clauses.len() < 2 {
+        return Ok(None);
+    }
+    let direction = before.mg.label(t_out).polarity;
+    let mut cands = BTreeMap::new();
+    for c in clauses {
+        let set = find_candidate_transitions(before, c, t_out, x, direction);
+        cands.insert(c, set);
+    }
+    let all: BTreeSet<usize> = cands.values().flatten().copied().collect();
+    let init = initial_restrictions(base, &all);
+    let solution = or_causality_decomposition(&cands, &init);
+    if solution.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(build_sub_stgs_case2(base, t_out, &solution, &cands)))
+}
+
+/// Case-3 OR-causality decomposition: candidates and sub-STGs both on the
+/// current (relaxed) STG.
+fn decompose_case3(
+    local: &LocalStg,
+    sg: &StateGraph,
+    t_out: usize,
+    x: usize,
+    epre: &BTreeMap<usize, BTreeSet<TransitionLabel>>,
+) -> Result<Option<Vec<LocalStg>>, CoreError> {
+    let empty = BTreeSet::new();
+    let e = epre.get(&t_out).unwrap_or(&empty);
+    let clauses = find_candidate_clauses(local, sg, t_out, e);
+    if clauses.len() < 2 {
+        return Ok(None);
+    }
+    let direction = local.mg.label(t_out).polarity;
+    let mut cands = BTreeMap::new();
+    for c in clauses {
+        let set = find_candidate_transitions(local, c, t_out, x, direction);
+        cands.insert(c, set);
+    }
+    let all: BTreeSet<usize> = cands.values().flatten().copied().collect();
+    let init = initial_restrictions(local, &all);
+    let solution = or_causality_decomposition(&cands, &init);
+    if solution.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(build_sub_stgs_case3(local, t_out, &solution, &cands)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::GateContext;
+    use si_boolean::{parse_eqn, GateLibrary};
+    use si_stg::{parse_astg, MgStg};
+
+    fn build(stg_text: &str, eqn: &str, gate: &str) -> (LocalStg, AdversaryOracle) {
+        let stg = parse_astg(stg_text).expect("valid STG");
+        let lib = GateLibrary::from_netlist(&parse_eqn(eqn).expect("valid EQN"));
+        let ctx = GateContext::bind(lib.gate(gate).expect("gate exists"), &stg).expect("binds");
+        let mg = MgStg::from_stg_mg(&stg).expect("marked graph");
+        let local = crate::local::LocalStg::project_from(&mg, &ctx).expect("projects");
+        (local, AdversaryOracle::new(&stg))
+    }
+
+    #[test]
+    fn and_gate_relaxes_rising_order_keeps_cycle_boundary() {
+        // o = x·y with x- triggering the fall. The rising-side ordering
+        // x+ ⇒ y+ can be relaxed (an AND gate waits for both inputs), but
+        // the cross-cycle ordering y- ⇒ x+ is load-bearing: if the next
+        // cycle's x+ overtakes the previous cycle's y-, the gate sees
+        // x·y = 1 and pulses early. Exactly one constraint must survive.
+        let text = "\
+.model and2
+.inputs x y
+.outputs o
+.graph
+x+ y+
+y+ o+
+o+ x-
+x- o-
+o- y-
+y- x+
+.marking { <y-,x+> }
+.end
+";
+        let (local, oracle) = build(text, "o = x*y;", "o");
+        let mut out = ExpandOutcome::default();
+        expand(local, &oracle, 1000, &mut out).expect("expands");
+        let rendered: Vec<String> = out.constraints.iter().map(|c| c.to_string()).collect();
+        assert_eq!(rendered, vec!["o: y- < x+"]);
+    }
+
+    #[test]
+    fn hazardous_handover_keeps_one_constraint() {
+        // o = y + z holding 1 across the z+ ⇒ y- handover: the ordering is
+        // load-bearing, expansion must emit exactly that constraint.
+        let text = "\
+.model handover
+.inputs y z
+.outputs o
+.graph
+z+ y-
+y- z-
+z- o-
+o- y+
+y+ o+
+o+ z+
+.marking { <o+,z+> }
+.end
+";
+        let (local, oracle) = build(text, "o = y + z;", "o");
+        let mut out = ExpandOutcome::default();
+        expand(local, &oracle, 1000, &mut out).expect("expands");
+        let rendered: Vec<String> = out.constraints.iter().map(|c| c.to_string()).collect();
+        assert_eq!(rendered, vec!["o: z+ < y-"]);
+    }
+
+    #[test]
+    fn or_causality_case3_decomposes_without_constraints() {
+        // o = x + y with o+ triggered by x+; y+ overtaking is legitimate
+        // OR-causality: the decomposition resolves it with no constraint.
+        let text = "\
+.model case3
+.inputs x y
+.outputs o
+.graph
+x+ o+
+x+ y+
+o+ x-
+y+ x-
+x- y-
+y- o-
+o- x+
+.marking { <o-,x+> }
+.end
+";
+        let (local, oracle) = build(text, "o = x + y;", "o");
+        let mut out = ExpandOutcome::default();
+        expand(local, &oracle, 1000, &mut out).expect("expands");
+        assert!(
+            out.trace
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Decomposed { .. })),
+            "expected a decomposition, trace: {:?}",
+            out.trace
+        );
+        // x+ ⇒ y+ itself must not survive as a constraint; the sub-STG
+        // processing may pin other orderings, but the OR race is free.
+        assert!(
+            !out.constraints
+                .iter()
+                .any(|c| c.to_string() == "o: x+ < y+"),
+            "got {:?}",
+            out.constraints
+        );
+    }
+
+    #[test]
+    fn iteration_budget_is_enforced() {
+        let text = "\
+.model and2
+.inputs x y
+.outputs o
+.graph
+x+ y+
+y+ o+
+o+ x-
+x- o-
+o- y-
+y- x+
+.marking { <y-,x+> }
+.end
+";
+        let (local, oracle) = build(text, "o = x*y;", "o");
+        let mut out = ExpandOutcome::default();
+        let err = expand(local, &oracle, 1, &mut out);
+        assert!(matches!(
+            err,
+            Err(CoreError::IterationBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn c_element_needs_no_constraints() {
+        let text = "\
+.model celem
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+";
+        let (local, oracle) = build(text, "c = a*b + a*c + b*c;", "c");
+        let mut out = ExpandOutcome::default();
+        expand(local, &oracle, 1000, &mut out).expect("expands");
+        assert!(out.constraints.is_empty());
+    }
+}

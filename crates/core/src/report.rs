@@ -1,0 +1,311 @@
+//! The top-level derivation — Algorithm 5 (`Deriving_timing_constraints`).
+//!
+//! Decomposes the implementation STG into MG components, projects every
+//! gate's local STG, records the baseline (Keller et al.) adversary-path
+//! constraints, runs the relaxation loop, and unions the per-gate results.
+
+use std::collections::BTreeSet;
+
+use si_boolean::GateLibrary;
+use si_stg::{StateGraph, Stg};
+
+use crate::check::{classify_states, prerequisite_sets, RelaxationCase};
+use crate::constraint::{Constraint, ConstraintAtom};
+use crate::error::CoreError;
+use crate::expand::{expand_with_order, ExpandOutcome, RelaxationOrder, TraceEvent};
+use crate::local::{GateContext, LocalStg};
+use crate::paths::AdversaryOracle;
+
+/// Iteration budget per gate (the thesis proves convergence; this guards
+/// against malformed inputs).
+const EXPAND_BUDGET: usize = 20_000;
+/// Allocation cap for Hack's decomposition.
+const ALLOCATION_CAP: usize = 4096;
+/// State budget for the whole-STG state graph.
+const SG_BUDGET: usize = 1_000_000;
+
+/// Per-gate derivation summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateReport {
+    /// The gate's output signal.
+    pub gate: String,
+    /// Baseline (pre-relaxation) type-4 constraints of this gate.
+    pub baseline: BTreeSet<Constraint>,
+    /// Constraints surviving relaxation for this gate.
+    pub derived: BTreeSet<Constraint>,
+}
+
+/// The full derivation result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstraintReport {
+    /// The baseline constraint set: one constraint per type-4 arc before
+    /// relaxation (the Keller et al. adversary-path conditions).
+    pub baseline: BTreeSet<Constraint>,
+    /// The derived relative timing constraints (`Rt`).
+    pub constraints: BTreeSet<Constraint>,
+    /// Per-gate breakdown.
+    pub per_gate: Vec<GateReport>,
+    /// Relaxation trace across all gates.
+    pub trace: Vec<TraceEvent>,
+    /// Reachable states of the full implementation STG (Table 7.2 column).
+    pub state_count: usize,
+    /// Total relaxation iterations.
+    pub iterations: usize,
+}
+
+impl ConstraintReport {
+    /// Constraints of `set` whose tightest adversary path has level ≤
+    /// `max_level` (gate-only paths; environment paths never qualify).
+    pub fn constraints_within_level<'a>(
+        &self,
+        set: &'a BTreeSet<Constraint>,
+        oracle: &AdversaryOracle,
+        stg: &Stg,
+        max_level: u32,
+    ) -> Vec<&'a Constraint> {
+        set.iter()
+            .filter(|c| {
+                let (Some(x), Some(y)) = (atom_label(stg, &c.before), atom_label(stg, &c.after))
+                else {
+                    return false;
+                };
+                oracle.level(x, y).is_some_and(|l| l <= max_level)
+            })
+            .collect()
+    }
+
+    /// Renders one constraint set in the thesis tool's line format.
+    pub fn render(set: &BTreeSet<Constraint>) -> String {
+        let mut s = String::new();
+        for c in set {
+            s.push_str(&c.to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+fn atom_label(stg: &Stg, a: &ConstraintAtom) -> Option<si_stg::TransitionLabel> {
+    let sig = stg.signal_by_name(&a.signal)?;
+    Some(si_stg::TransitionLabel::new(sig, a.polarity, a.occurrence))
+}
+
+/// Derives the relative timing constraints sufficient for `stg`'s circuit
+/// (given as `library`) to stay hazard-free under the intra-operator fork
+/// assumption (Algorithm 5), along with the pre-relaxation baseline.
+///
+/// # Errors
+///
+/// - [`CoreError::MissingGate`] when a non-input signal has no gate;
+/// - [`CoreError::NotConformant`] when the netlist does not implement the
+///   STG hazard-free under the isochronic-fork assumption (the method's
+///   precondition);
+/// - plus decomposition/state-graph errors for malformed inputs.
+pub fn derive_timing_constraints(
+    stg: &Stg,
+    library: &GateLibrary,
+) -> Result<ConstraintReport, CoreError> {
+    derive_timing_constraints_with_order(stg, library, RelaxationOrder::TightestFirst)
+}
+
+/// [`derive_timing_constraints`] under an explicit relaxation-order policy
+/// (the Sec. 5.5 ablation: naive orders can only produce equal-or-stronger
+/// constraint sets).
+///
+/// # Errors
+///
+/// Same as [`derive_timing_constraints`].
+pub fn derive_timing_constraints_with_order(
+    stg: &Stg,
+    library: &GateLibrary,
+    order: RelaxationOrder,
+) -> Result<ConstraintReport, CoreError> {
+    let oracle = AdversaryOracle::new(stg);
+    let components = stg.mg_components(ALLOCATION_CAP)?;
+    let state_count = StateGraph::of_stg(stg, SG_BUDGET)?.state_count();
+
+    let mut baseline: BTreeSet<Constraint> = BTreeSet::new();
+    let mut constraints: BTreeSet<Constraint> = BTreeSet::new();
+    let mut per_gate: Vec<GateReport> = Vec::new();
+    let mut trace: Vec<TraceEvent> = Vec::new();
+    let mut iterations = 0usize;
+
+    for a in stg.gate_signals() {
+        let name = stg.signal_name(a).to_string();
+        let gate = library.gate(&name).ok_or_else(|| CoreError::MissingGate {
+            signal: name.clone(),
+        })?;
+        let ctx = GateContext::bind(gate, stg)?;
+
+        let mut gate_baseline: BTreeSet<Constraint> = BTreeSet::new();
+        let mut gate_outcome = ExpandOutcome::default();
+
+        for component in &components {
+            // Components that do not exercise this gate's output are
+            // skipped (free-choice branches without it).
+            if !component
+                .transitions()
+                .iter()
+                .any(|&t| component.label(t).signal == a)
+            {
+                continue;
+            }
+            let local = LocalStg::project_from(component, &ctx)?;
+            let names = local.mg.signal_names();
+
+            // Record the baseline: every type-4 arc before relaxation.
+            for (src, dst) in local.input_to_input_arcs() {
+                gate_baseline.insert(Constraint {
+                    gate: name.clone(),
+                    before: ConstraintAtom::from_label(local.mg.label(src), &names),
+                    after: ConstraintAtom::from_label(local.mg.label(dst), &names),
+                });
+            }
+
+            // Precondition: the initial local STG must be conformant.
+            let sg = StateGraph::of_mg(&local.mg, SG_BUDGET)?;
+            let epre = prerequisite_sets(&local);
+            let (case, _) = classify_states(&local, &sg, &epre, None)?;
+            if case != RelaxationCase::Case1 {
+                return Err(CoreError::NotConformant { gate: name });
+            }
+
+            expand_with_order(local, &oracle, EXPAND_BUDGET, order, &mut gate_outcome)?;
+        }
+
+        baseline.extend(gate_baseline.iter().cloned());
+        constraints.extend(gate_outcome.constraints.iter().cloned());
+        iterations += gate_outcome.iterations;
+        trace.extend(gate_outcome.trace.iter().cloned());
+        per_gate.push(GateReport {
+            gate: name,
+            baseline: gate_baseline,
+            derived: gate_outcome.constraints,
+        });
+    }
+
+    Ok(ConstraintReport {
+        baseline,
+        constraints,
+        per_gate,
+        trace,
+        state_count,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_boolean::parse_eqn;
+    use si_stg::parse_astg;
+
+    #[test]
+    fn c_element_has_no_constraints_at_all() {
+        let stg = parse_astg(
+            "\
+.model celem
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+",
+        )
+        .expect("valid");
+        let lib = GateLibrary::from_netlist(&parse_eqn("c = a*b + a*c + b*c;").expect("valid"));
+        let report = derive_timing_constraints(&stg, &lib).expect("derives");
+        assert!(report.baseline.is_empty());
+        assert!(report.constraints.is_empty());
+        assert_eq!(report.state_count, 8);
+    }
+
+    #[test]
+    fn derived_set_is_a_strict_subset_of_the_baseline() {
+        // The hazardous handover has two type-4 arcs (z+ ⇒ y- and
+        // y- ⇒ z-); relaxation discharges the falling-order one and keeps
+        // only the load-bearing handover: a 50 % reduction, the paper's
+        // headline effect in miniature.
+        let stg = parse_astg(
+            "\
+.model handover
+.inputs y z
+.outputs o
+.graph
+z+ y-
+y- z-
+z- o-
+o- y+
+y+ o+
+o+ z+
+.marking { <o+,z+> }
+.end
+",
+        )
+        .expect("valid");
+        let lib = GateLibrary::from_netlist(&parse_eqn("o = y + z;").expect("valid"));
+        let report = derive_timing_constraints(&stg, &lib).expect("derives");
+        assert_eq!(report.baseline.len(), 2);
+        let rendered: Vec<String> = report.constraints.iter().map(|c| c.to_string()).collect();
+        assert_eq!(rendered, vec!["o: z+ < y-"]);
+        assert!(report.constraints.is_subset(&report.baseline));
+    }
+
+    #[test]
+    fn missing_gate_is_reported() {
+        let stg = parse_astg(
+            "\
+.model buf
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+",
+        )
+        .expect("valid");
+        let lib = GateLibrary::default();
+        assert!(matches!(
+            derive_timing_constraints(&stg, &lib),
+            Err(CoreError::MissingGate { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_netlist_fails_conformance() {
+        // An OR gate cannot implement the C-element STG: the initial local
+        // STG is not conformant.
+        let stg = parse_astg(
+            "\
+.model celem
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+",
+        )
+        .expect("valid");
+        let lib = GateLibrary::from_netlist(&parse_eqn("c = a + b;").expect("valid"));
+        assert!(matches!(
+            derive_timing_constraints(&stg, &lib),
+            Err(CoreError::NotConformant { .. })
+        ));
+    }
+}

@@ -1,0 +1,215 @@
+use std::collections::HashMap;
+
+use crate::error::PetriError;
+use crate::net::{Marking, PetriNet, TransitionId};
+
+/// The reachability graph of a bounded net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reachability {
+    /// Every reachable marking; index 0 is the initial marking.
+    pub markings: Vec<Marking>,
+    /// `edges[i]` lists `(t, j)` pairs: firing `t` in marking `i` yields `j`.
+    pub edges: Vec<Vec<(TransitionId, usize)>>,
+}
+
+impl Reachability {
+    /// Successor state indices of state `i`.
+    pub fn successors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges[i].iter().map(|&(_, j)| j)
+    }
+
+    /// States from which some state in `targets` is reachable (including the
+    /// targets themselves).
+    pub fn backward_closure(&self, targets: &[usize]) -> Vec<bool> {
+        let n = self.markings.len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, outs) in self.edges.iter().enumerate() {
+            for &(_, j) in outs {
+                preds[j].push(i);
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut stack: Vec<usize> = targets.to_vec();
+        for &s in targets {
+            seen[s] = true;
+        }
+        while let Some(i) = stack.pop() {
+            for &p in &preds[i] {
+                if !seen[p] {
+                    seen[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        seen
+    }
+}
+
+impl PetriNet {
+    /// Explores the reachability graph, up to `budget` distinct markings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::StateBudgetExceeded`] if more than `budget`
+    /// markings are reachable (e.g. the net is unbounded).
+    pub fn reachability(&self, budget: usize) -> Result<Reachability, PetriError> {
+        let m0 = self.initial_marking();
+        let mut index: HashMap<Marking, usize> = HashMap::new();
+        let mut markings = vec![m0.clone()];
+        let mut edges: Vec<Vec<(TransitionId, usize)>> = vec![Vec::new()];
+        index.insert(m0, 0);
+        let mut frontier = vec![0usize];
+        while let Some(i) = frontier.pop() {
+            let m = markings[i].clone();
+            for t in self.enabled_transitions(&m) {
+                let next = self.fire(t, &m);
+                let j = match index.get(&next) {
+                    Some(&j) => j,
+                    None => {
+                        if markings.len() >= budget {
+                            return Err(PetriError::StateBudgetExceeded { budget });
+                        }
+                        let j = markings.len();
+                        markings.push(next.clone());
+                        edges.push(Vec::new());
+                        index.insert(next, j);
+                        frontier.push(j);
+                        j
+                    }
+                };
+                edges[i].push((t, j));
+            }
+        }
+        Ok(Reachability { markings, edges })
+    }
+
+    /// Whether every place holds at most one token in every reachable
+    /// marking (thesis Sec. 3.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PetriError::StateBudgetExceeded`] from the exploration.
+    pub fn is_safe(&self, budget: usize) -> Result<bool, PetriError> {
+        let reach = self.reachability(budget)?;
+        Ok(reach.markings.iter().all(|m| m.iter().all(|&k| k <= 1)))
+    }
+
+    /// Whether every transition is live: from every reachable marking, a
+    /// marking enabling it remains reachable (thesis Sec. 3.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PetriError::StateBudgetExceeded`] from the exploration.
+    pub fn is_live(&self, budget: usize) -> Result<bool, PetriError> {
+        let reach = self.reachability(budget)?;
+        for t in self.transitions() {
+            let targets: Vec<usize> = (0..reach.markings.len())
+                .filter(|&i| self.enabled(t, &reach.markings[i]))
+                .collect();
+            if targets.is_empty() {
+                return Ok(false);
+            }
+            let closure = reach.backward_closure(&targets);
+            if closure.iter().any(|&b| !b) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::PetriNet;
+
+    /// The thesis Fig. 3.1 example: five places, four transitions.
+    fn fig_3_1() -> PetriNet {
+        let mut net = PetriNet::new();
+        let p1 = net.add_place("p1", 1);
+        let p2 = net.add_place("p2", 0);
+        let p3 = net.add_place("p3", 0);
+        let p4 = net.add_place("p4", 0);
+        let p5 = net.add_place("p5", 0);
+        let t1 = net.add_transition("t1");
+        let t2 = net.add_transition("t2");
+        let t3 = net.add_transition("t3");
+        let t4 = net.add_transition("t4");
+        net.add_arc_pt(p1, t1);
+        net.add_arc_tp(t1, p2);
+        net.add_arc_tp(t1, p3);
+        net.add_arc_pt(p2, t2);
+        net.add_arc_tp(t2, p4);
+        net.add_arc_pt(p3, t3);
+        net.add_arc_tp(t3, p5);
+        net.add_arc_pt(p4, t4);
+        net.add_arc_pt(p5, t4);
+        net.add_arc_tp(t4, p1);
+        net
+    }
+
+    #[test]
+    fn fig_3_1_marking_set_has_five_markings() {
+        // The thesis lists exactly the marking set
+        // {10000, 01100, 00110, 01001, 00011}.
+        let net = fig_3_1();
+        let reach = net.reachability(100).expect("bounded");
+        assert_eq!(reach.markings.len(), 5);
+        assert!(reach.markings.contains(&vec![1, 0, 0, 0, 0]));
+        assert!(reach.markings.contains(&vec![0, 1, 1, 0, 0]));
+        assert!(reach.markings.contains(&vec![0, 0, 1, 1, 0]));
+        assert!(reach.markings.contains(&vec![0, 1, 0, 0, 1]));
+        assert!(reach.markings.contains(&vec![0, 0, 0, 1, 1]));
+    }
+
+    #[test]
+    fn fig_3_1_is_live_and_safe() {
+        let net = fig_3_1();
+        assert!(net.is_live(100).expect("bounded"));
+        assert!(net.is_safe(100).expect("bounded"));
+    }
+
+    #[test]
+    fn dead_transition_makes_net_not_live() {
+        // Thesis Fig. 3.2 (left): t3 with an unmarkable input place.
+        let mut net = fig_3_1();
+        let dead_p = net.add_place("dead", 0);
+        let dead_t = net.add_transition("t_dead");
+        net.add_arc_pt(dead_p, dead_t);
+        net.add_arc_tp(dead_t, dead_p);
+        assert!(!net.is_live(100).expect("bounded"));
+    }
+
+    #[test]
+    fn two_token_place_is_unsafe() {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p", 2);
+        let t = net.add_transition("t");
+        net.add_arc_pt(p, t);
+        net.add_arc_tp(t, p);
+        assert!(!net.is_safe(100).expect("bounded"));
+    }
+
+    #[test]
+    fn unbounded_net_exceeds_budget() {
+        // A transition with no inputs pumps tokens forever.
+        let mut net = PetriNet::new();
+        let p = net.add_place("p", 0);
+        let t = net.add_transition("t");
+        net.add_arc_tp(t, p);
+        assert_eq!(
+            net.reachability(16),
+            Err(PetriError::StateBudgetExceeded { budget: 16 })
+        );
+    }
+
+    #[test]
+    fn backward_closure_reaches_predecessors() {
+        let net = fig_3_1();
+        let reach = net.reachability(100).expect("bounded");
+        // Every state can reach every other (strongly connected): closure of
+        // any single target covers all states.
+        let closure = reach.backward_closure(&[3]);
+        assert!(closure.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,317 @@
+//! Hack's MG-allocation decomposition of live and safe free-choice nets
+//! (thesis Sec. 5.2.1).
+//!
+//! An *MG allocation* picks one output transition for every choice place.
+//! The reduction then eliminates all unallocated transitions, every place
+//! whose input transitions are all eliminated, and every transition with an
+//! eliminated input place, iterating to a fixpoint. Each allocation yields a
+//! marked-graph component; the set of components over all allocations covers
+//! the net.
+
+use std::collections::BTreeSet;
+
+use crate::error::PetriError;
+use crate::net::{PetriNet, PlaceId, TransitionId};
+
+/// One marked-graph component of a free-choice net.
+#[derive(Debug, Clone)]
+pub struct MgComponent {
+    /// The component as a standalone net (always a marked graph).
+    pub net: PetriNet,
+    /// For each transition of `net`, the id of the original transition.
+    pub transition_map: Vec<TransitionId>,
+    /// For each place of `net`, the id of the original place.
+    pub place_map: Vec<PlaceId>,
+}
+
+/// Decomposes a live and safe free-choice net into MG components covering it.
+///
+/// Allocation enumeration is capped at `cap` combinations. Identical
+/// components produced by different allocations are deduplicated.
+///
+/// # Errors
+///
+/// - [`PetriError::NotFreeChoice`] if a choice place is not free-choice.
+/// - [`PetriError::TooManyAllocations`] if the product of choice-place
+///   branch counts exceeds `cap`.
+/// - [`PetriError::ComponentNotMarkedGraph`] if a reduction fails to produce
+///   an MG (the input was not live-and-safe free-choice).
+pub fn decompose_into_mg_components(
+    net: &PetriNet,
+    cap: usize,
+) -> Result<Vec<MgComponent>, PetriError> {
+    let choice_places: Vec<PlaceId> = net.places().filter(|&p| net.is_choice_place(p)).collect();
+    for &p in &choice_places {
+        if !net
+            .place_post(p)
+            .iter()
+            .all(|&t| net.transition_pre(t) == [p])
+        {
+            return Err(PetriError::NotFreeChoice {
+                place: net.place_name(p).to_string(),
+            });
+        }
+    }
+
+    let mut count: usize = 1;
+    for &p in &choice_places {
+        count = count.saturating_mul(net.place_post(p).len());
+        if count > cap {
+            return Err(PetriError::TooManyAllocations { count, cap });
+        }
+    }
+
+    let mut components = Vec::new();
+    let mut seen: BTreeSet<Vec<usize>> = BTreeSet::new();
+    let mut allocation = vec![0usize; choice_places.len()];
+    loop {
+        let surviving = reduce(net, &choice_places, &allocation);
+        if seen.insert(surviving.clone()) {
+            components.push(extract(net, &surviving)?);
+        }
+        // Next allocation (mixed-radix increment).
+        let mut i = 0;
+        loop {
+            if i == choice_places.len() {
+                return Ok(components);
+            }
+            allocation[i] += 1;
+            if allocation[i] < net.place_post(choice_places[i]).len() {
+                break;
+            }
+            allocation[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Runs the three-step elimination to a fixpoint; returns surviving
+/// transition ids (sorted).
+fn reduce(net: &PetriNet, choice_places: &[PlaceId], allocation: &[usize]) -> Vec<usize> {
+    let nt = net.transition_count();
+    let np = net.place_count();
+    let mut eli_t = vec![false; nt];
+    let mut eli_p = vec![false; np];
+
+    // First step: eliminate all unallocated output transitions of every
+    // choice place.
+    for (k, &p) in choice_places.iter().enumerate() {
+        for (j, &t) in net.place_post(p).iter().enumerate() {
+            if j != allocation[k] {
+                eli_t[t.0] = true;
+            }
+        }
+    }
+
+    // Second and third steps, iterated to a fixpoint.
+    loop {
+        let mut changed = false;
+        for p in net.places() {
+            if !eli_p[p.0] && net.place_pre(p).iter().all(|t| eli_t[t.0]) {
+                eli_p[p.0] = true;
+                changed = true;
+            }
+        }
+        for t in net.transitions() {
+            if !eli_t[t.0] && net.transition_pre(t).iter().any(|p| eli_p[p.0]) {
+                eli_t[t.0] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    (0..nt).filter(|&i| !eli_t[i]).collect()
+}
+
+/// Builds the transition-generated subnet over `surviving` transitions.
+fn extract(net: &PetriNet, surviving: &[usize]) -> Result<MgComponent, PetriError> {
+    let alive = |t: &TransitionId| surviving.binary_search(&t.0).is_ok();
+
+    // Keep a place iff it connects two surviving transitions (or carries the
+    // surviving flow); places with no surviving input or output are dropped.
+    let mut comp = PetriNet::new();
+    let mut place_map = Vec::new();
+    let mut place_new = vec![None::<PlaceId>; net.place_count()];
+    let mut transition_map = Vec::new();
+    let mut transition_new = vec![None::<TransitionId>; net.transition_count()];
+
+    for &ti in surviving {
+        let t = TransitionId(ti);
+        let nt = comp.add_transition(net.transition_name(t));
+        transition_new[ti] = Some(nt);
+        transition_map.push(t);
+    }
+    for p in net.places() {
+        let pre: Vec<TransitionId> = net.place_pre(p).iter().copied().filter(alive).collect();
+        let post: Vec<TransitionId> = net.place_post(p).iter().copied().filter(alive).collect();
+        if pre.is_empty() && post.is_empty() {
+            continue;
+        }
+        if pre.len() > 1 || post.len() > 1 {
+            return Err(PetriError::ComponentNotMarkedGraph {
+                place: net.place_name(p).to_string(),
+            });
+        }
+        let np = comp.add_place(net.place_name(p), net.initial_marking()[p.0]);
+        place_new[p.0] = Some(np);
+        place_map.push(p);
+        for t in pre {
+            comp.add_arc_tp(transition_new[t.0].expect("surviving"), np);
+        }
+        for t in post {
+            comp.add_arc_pt(np, transition_new[t.0].expect("surviving"));
+        }
+    }
+
+    Ok(MgComponent {
+        net: comp,
+        transition_map,
+        place_map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The thesis Fig. 5.2 live and safe free-choice net.
+    fn fig_5_2() -> PetriNet {
+        let mut net = PetriNet::new();
+        let p1 = net.add_place("p1", 1);
+        let p2 = net.add_place("p2", 0);
+        let p3 = net.add_place("p3", 0);
+        let p4 = net.add_place("p4", 0);
+        let p5 = net.add_place("p5", 0);
+        let p6 = net.add_place("p6", 0);
+        let t1 = net.add_transition("t1");
+        let t2 = net.add_transition("t2");
+        let t4 = net.add_transition("t4");
+        let t5 = net.add_transition("t5");
+        let t6 = net.add_transition("t6");
+        let t7 = net.add_transition("t7");
+        let t8 = net.add_transition("t8");
+        let t9 = net.add_transition("t9");
+        // p1 is a free-choice place between t1 and t2.
+        net.add_arc_pt(p1, t1);
+        net.add_arc_pt(p1, t2);
+        net.add_arc_tp(t1, p2);
+        net.add_arc_pt(p2, t6);
+        net.add_arc_tp(t6, p6);
+        net.add_arc_tp(t2, p3);
+        // p3 is a free-choice place between t4 and t5.
+        net.add_arc_pt(p3, t4);
+        net.add_arc_pt(p3, t5);
+        net.add_arc_tp(t4, p4);
+        net.add_arc_pt(p4, t7);
+        net.add_arc_tp(t5, p5);
+        net.add_arc_pt(p5, t8);
+        net.add_arc_tp(t7, p6);
+        net.add_arc_tp(t8, p6);
+        net.add_arc_pt(p6, t9);
+        net.add_arc_tp(t9, p1);
+        net
+    }
+
+    #[test]
+    fn fig_5_2_decomposes_into_three_components() {
+        let net = fig_5_2();
+        assert!(net.is_free_choice());
+        let comps = decompose_into_mg_components(&net, 64).expect("free choice");
+        // Thesis Fig. 5.2 (b)-(d): exactly three MG components.
+        assert_eq!(comps.len(), 3);
+        for c in &comps {
+            assert!(c.net.is_marked_graph());
+            assert!(c.net.is_live(1000).expect("small"));
+            assert!(c.net.is_safe(1000).expect("small"));
+        }
+        // Component sizes: {t1,t6,t9}, {t2,t4,t7,t9}, {t2,t5,t8,t9}.
+        let mut sizes: Vec<usize> = comps.iter().map(|c| c.net.transition_count()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 4, 4]);
+    }
+
+    #[test]
+    fn components_cover_every_transition() {
+        let net = fig_5_2();
+        let comps = decompose_into_mg_components(&net, 64).expect("free choice");
+        let mut covered = vec![false; net.transition_count()];
+        for c in &comps {
+            for t in &c.transition_map {
+                covered[t.0] = true;
+            }
+        }
+        assert!(
+            covered.iter().all(|&b| b),
+            "MG components must cover the net"
+        );
+    }
+
+    #[test]
+    fn marked_graph_decomposes_into_itself() {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p", 1);
+        let q = net.add_place("q", 0);
+        let t = net.add_transition("t");
+        let u = net.add_transition("u");
+        net.add_arc_pt(p, t);
+        net.add_arc_tp(t, q);
+        net.add_arc_pt(q, u);
+        net.add_arc_tp(u, p);
+        let comps = decompose_into_mg_components(&net, 64).expect("mg");
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].net.transition_count(), 2);
+        assert_eq!(comps[0].net.place_count(), 2);
+    }
+
+    #[test]
+    fn component_markings_restrict_the_original() {
+        let net = fig_5_2();
+        let comps = decompose_into_mg_components(&net, 64).expect("free choice");
+        let m0 = net.initial_marking();
+        for c in &comps {
+            let cm = c.net.initial_marking();
+            for (i, &p) in c.place_map.iter().enumerate() {
+                assert_eq!(cm[i], m0[p.0], "component token mismatch at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn transition_maps_point_back_correctly() {
+        let net = fig_5_2();
+        let comps = decompose_into_mg_components(&net, 64).expect("free choice");
+        for c in &comps {
+            for t in c.net.transitions() {
+                let orig = c.transition_map[t.0];
+                assert_eq!(c.net.transition_name(t), net.transition_name(orig));
+            }
+        }
+    }
+
+    #[test]
+    fn non_free_choice_is_rejected() {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p", 1);
+        let q = net.add_place("q", 1);
+        let t = net.add_transition("t");
+        let u = net.add_transition("u");
+        net.add_arc_pt(p, t);
+        net.add_arc_pt(p, u);
+        net.add_arc_pt(q, u); // u has two input places: p's choice is not free
+        net.add_arc_tp(t, p);
+        net.add_arc_tp(u, p);
+        net.add_arc_tp(u, q);
+        let err = decompose_into_mg_components(&net, 64).unwrap_err();
+        assert!(matches!(err, PetriError::NotFreeChoice { .. }));
+    }
+
+    #[test]
+    fn allocation_cap_is_enforced() {
+        let net = fig_5_2();
+        let err = decompose_into_mg_components(&net, 1).unwrap_err();
+        assert!(matches!(err, PetriError::TooManyAllocations { .. }));
+    }
+}

@@ -1,0 +1,42 @@
+//! Petri nets, marked graphs and Hack's MG-allocation decomposition.
+//!
+//! This crate provides the base net-level substrate used by the rest of the
+//! workspace: ordinary place/transition nets with token-game semantics,
+//! bounded reachability analysis, the behavioural property checks the thesis
+//! relies on (liveness, safeness), the structural subclasses it restricts
+//! itself to (free-choice nets, marked graphs), and Hack's algorithm for
+//! decomposing a live and safe free-choice net into a covering set of marked
+//! graph components (thesis Sec. 5.2.1).
+//!
+//! # Example
+//!
+//! ```
+//! use si_petri::PetriNet;
+//!
+//! # fn main() -> Result<(), si_petri::PetriError> {
+//! let mut net = PetriNet::new();
+//! let p = net.add_place("p", 1);
+//! let q = net.add_place("q", 0);
+//! let t = net.add_transition("t");
+//! let u = net.add_transition("u");
+//! net.add_arc_pt(p, t);
+//! net.add_arc_tp(t, q);
+//! net.add_arc_pt(q, u);
+//! net.add_arc_tp(u, p);
+//! let reach = net.reachability(1_000)?;
+//! assert_eq!(reach.markings.len(), 2);
+//! assert!(net.is_live(1_000)?);
+//! assert!(net.is_safe(1_000)?);
+//! # Ok(())
+//! # }
+//! ```
+
+mod analysis;
+mod error;
+mod hack;
+mod net;
+
+pub use analysis::Reachability;
+pub use error::PetriError;
+pub use hack::{decompose_into_mg_components, MgComponent};
+pub use net::{Marking, PetriNet, PlaceId, TransitionId};

@@ -1,0 +1,303 @@
+use std::fmt;
+
+/// Index of a place inside a [`PetriNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlaceId(pub usize);
+
+/// Index of a transition inside a [`PetriNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransitionId(pub usize);
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for TransitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A marking: the token count of every place, indexed by [`PlaceId`].
+pub type Marking = Vec<u32>;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Place {
+    name: String,
+    initial: u32,
+    pre: Vec<TransitionId>,
+    post: Vec<TransitionId>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Transition {
+    name: String,
+    pre: Vec<PlaceId>,
+    post: Vec<PlaceId>,
+}
+
+/// An ordinary (arc weight 1) place/transition net with an initial marking.
+///
+/// The quadruple `N = (P, T, F, m0)` of the thesis (Sec. 3.2). Arcs are
+/// stored redundantly on both endpoints so presets and postsets are O(1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PetriNet {
+    places: Vec<Place>,
+    transitions: Vec<Transition>,
+}
+
+impl PetriNet {
+    /// Creates an empty net.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a place with `initial` tokens and returns its id.
+    pub fn add_place(&mut self, name: impl Into<String>, initial: u32) -> PlaceId {
+        self.places.push(Place {
+            name: name.into(),
+            initial,
+            pre: Vec::new(),
+            post: Vec::new(),
+        });
+        PlaceId(self.places.len() - 1)
+    }
+
+    /// Adds a transition and returns its id.
+    pub fn add_transition(&mut self, name: impl Into<String>) -> TransitionId {
+        self.transitions.push(Transition {
+            name: name.into(),
+            pre: Vec::new(),
+            post: Vec::new(),
+        });
+        TransitionId(self.transitions.len() - 1)
+    }
+
+    /// Adds an arc from place `p` to transition `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn add_arc_pt(&mut self, p: PlaceId, t: TransitionId) {
+        self.places[p.0].post.push(t);
+        self.transitions[t.0].pre.push(p);
+    }
+
+    /// Adds an arc from transition `t` to place `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn add_arc_tp(&mut self, t: TransitionId, p: PlaceId) {
+        self.places[p.0].pre.push(t);
+        self.transitions[t.0].post.push(p);
+    }
+
+    /// Number of places.
+    pub fn place_count(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Iterator over all place ids.
+    pub fn places(&self) -> impl Iterator<Item = PlaceId> {
+        (0..self.places.len()).map(PlaceId)
+    }
+
+    /// Iterator over all transition ids.
+    pub fn transitions(&self) -> impl Iterator<Item = TransitionId> {
+        (0..self.transitions.len()).map(TransitionId)
+    }
+
+    /// Name of place `p`.
+    pub fn place_name(&self, p: PlaceId) -> &str {
+        &self.places[p.0].name
+    }
+
+    /// Name of transition `t`.
+    pub fn transition_name(&self, t: TransitionId) -> &str {
+        &self.transitions[t.0].name
+    }
+
+    /// Finds a place by name.
+    pub fn place_by_name(&self, name: &str) -> Option<PlaceId> {
+        self.places.iter().position(|p| p.name == name).map(PlaceId)
+    }
+
+    /// Finds a transition by name.
+    pub fn transition_by_name(&self, name: &str) -> Option<TransitionId> {
+        self.transitions
+            .iter()
+            .position(|t| t.name == name)
+            .map(TransitionId)
+    }
+
+    /// Input transitions of place `p` (the preset `•p`).
+    pub fn place_pre(&self, p: PlaceId) -> &[TransitionId] {
+        &self.places[p.0].pre
+    }
+
+    /// Output transitions of place `p` (the postset `p•`).
+    pub fn place_post(&self, p: PlaceId) -> &[TransitionId] {
+        &self.places[p.0].post
+    }
+
+    /// Input places of transition `t` (the preset `•t`).
+    pub fn transition_pre(&self, t: TransitionId) -> &[PlaceId] {
+        &self.transitions[t.0].pre
+    }
+
+    /// Output places of transition `t` (the postset `t•`).
+    pub fn transition_post(&self, t: TransitionId) -> &[PlaceId] {
+        &self.transitions[t.0].post
+    }
+
+    /// The initial marking `m0`.
+    pub fn initial_marking(&self) -> Marking {
+        self.places.iter().map(|p| p.initial).collect()
+    }
+
+    /// Sets the initial token count of place `p`.
+    pub fn set_initial(&mut self, p: PlaceId, tokens: u32) {
+        self.places[p.0].initial = tokens;
+    }
+
+    /// Whether transition `t` is enabled in marking `m`.
+    pub fn enabled(&self, t: TransitionId, m: &Marking) -> bool {
+        self.transitions[t.0].pre.iter().all(|p| m[p.0] > 0)
+    }
+
+    /// Fires transition `t` in marking `m`, returning the successor marking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not enabled in `m`.
+    pub fn fire(&self, t: TransitionId, m: &Marking) -> Marking {
+        assert!(self.enabled(t, m), "transition {t} is not enabled");
+        let mut next = m.clone();
+        for p in &self.transitions[t.0].pre {
+            next[p.0] -= 1;
+        }
+        for p in &self.transitions[t.0].post {
+            next[p.0] += 1;
+        }
+        next
+    }
+
+    /// Transitions enabled in marking `m`, in id order.
+    pub fn enabled_transitions(&self, m: &Marking) -> Vec<TransitionId> {
+        self.transitions().filter(|&t| self.enabled(t, m)).collect()
+    }
+
+    /// Whether `p` is a choice place (more than one output transition).
+    pub fn is_choice_place(&self, p: PlaceId) -> bool {
+        self.places[p.0].post.len() > 1
+    }
+
+    /// Whether `p` is a merge place (more than one input transition).
+    pub fn is_merge_place(&self, p: PlaceId) -> bool {
+        self.places[p.0].pre.len() > 1
+    }
+
+    /// Whether every choice place is free-choice: it is the only input place
+    /// of all of its output transitions (thesis Sec. 3.2).
+    pub fn is_free_choice(&self) -> bool {
+        self.places().all(|p| {
+            !self.is_choice_place(p)
+                || self
+                    .place_post(p)
+                    .iter()
+                    .all(|&t| self.transition_pre(t) == [p])
+        })
+    }
+
+    /// Whether the net is structurally a marked graph: no choice and no merge
+    /// places.
+    pub fn is_marked_graph(&self) -> bool {
+        self.places()
+            .all(|p| !self.is_choice_place(p) && !self.is_merge_place(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cycle() -> (PetriNet, PlaceId, PlaceId, TransitionId, TransitionId) {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p", 1);
+        let q = net.add_place("q", 0);
+        let t = net.add_transition("t");
+        let u = net.add_transition("u");
+        net.add_arc_pt(p, t);
+        net.add_arc_tp(t, q);
+        net.add_arc_pt(q, u);
+        net.add_arc_tp(u, p);
+        (net, p, q, t, u)
+    }
+
+    #[test]
+    fn firing_moves_token() {
+        let (net, p, q, t, u) = two_cycle();
+        let m0 = net.initial_marking();
+        assert!(net.enabled(t, &m0));
+        assert!(!net.enabled(u, &m0));
+        let m1 = net.fire(t, &m0);
+        assert_eq!(m1[p.0], 0);
+        assert_eq!(m1[q.0], 1);
+        let m2 = net.fire(u, &m1);
+        assert_eq!(m2, m0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enabled")]
+    fn firing_disabled_panics() {
+        let (net, _, _, _, u) = two_cycle();
+        net.fire(u, &net.initial_marking());
+    }
+
+    #[test]
+    fn preset_postset_bookkeeping() {
+        let (net, p, q, t, u) = two_cycle();
+        assert_eq!(net.place_pre(p), &[u]);
+        assert_eq!(net.place_post(p), &[t]);
+        assert_eq!(net.transition_pre(t), &[p]);
+        assert_eq!(net.transition_post(t), &[q]);
+        assert_eq!(net.place_pre(q), &[t]);
+    }
+
+    #[test]
+    fn structural_classes() {
+        let (net, ..) = two_cycle();
+        assert!(net.is_free_choice());
+        assert!(net.is_marked_graph());
+
+        // Add a second output to p: now p is a (free) choice place.
+        let mut choice = net.clone();
+        let p = PlaceId(0);
+        let v = choice.add_transition("v");
+        choice.add_arc_pt(p, v);
+        assert!(choice.is_choice_place(p));
+        assert!(choice.is_free_choice());
+        assert!(!choice.is_marked_graph());
+
+        // Give v a second input place: the choice is no longer free.
+        let extra = choice.add_place("extra", 0);
+        choice.add_arc_pt(extra, v);
+        assert!(!choice.is_free_choice());
+    }
+
+    #[test]
+    fn name_lookup() {
+        let (net, p, _, t, _) = two_cycle();
+        assert_eq!(net.place_by_name("p"), Some(p));
+        assert_eq!(net.transition_by_name("t"), Some(t));
+        assert_eq!(net.place_by_name("zz"), None);
+    }
+}

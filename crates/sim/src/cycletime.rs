@@ -1,0 +1,227 @@
+//! Cycle-time analysis of marked-graph STGs: the maximum cycle ratio
+//! (total delay around a cycle divided by its token count) gives the
+//! steady-state period of a timed marked graph. Used for the Fig. 7.7
+//! delay-penalty study: padding inserted to satisfy timing constraints
+//! lengthens the slowest cycle; a repeater pads both transitions of a
+//! signal, a current-starved element only the constrained edge.
+
+use std::collections::BTreeMap;
+
+use si_stg::{MgStg, Polarity};
+
+/// Delay of each transition (gate delay + wire), keyed by rendered label
+/// (`l+`, `d-/2`, …), with optional per-signal and per-edge padding.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DelayAssignment {
+    /// Default transition delay, picoseconds.
+    pub default_ps: f64,
+    /// Per-label overrides/additions.
+    pub extra_ps: BTreeMap<String, f64>,
+}
+
+impl DelayAssignment {
+    /// Uniform delay per transition.
+    pub fn uniform(default_ps: f64) -> Self {
+        Self {
+            default_ps,
+            extra_ps: BTreeMap::new(),
+        }
+    }
+
+    /// Adds `ps` of padding to one rendered transition label (the
+    /// current-starved single-edge pad).
+    pub fn pad_label(&mut self, label: &str, ps: f64) {
+        *self.extra_ps.entry(label.to_string()).or_insert(0.0) += ps;
+    }
+
+    /// Adds `ps` of padding to both edges of a signal (the repeater pad):
+    /// every occurrence of `sig+` and `sig-`.
+    pub fn pad_signal(&mut self, mg: &MgStg, signal: &str, ps: f64) {
+        let Some(sig) = mg.signal_by_name(signal) else {
+            return;
+        };
+        for t in mg.transitions() {
+            let l = mg.label(t);
+            if l.signal == sig {
+                self.pad_label(&mg.label_string(t), ps);
+            }
+        }
+        let _ = Polarity::Plus;
+    }
+
+    /// The delay of transition `t` in `mg`.
+    pub fn delay(&self, mg: &MgStg, t: usize) -> f64 {
+        self.default_ps
+            + self
+                .extra_ps
+                .get(&mg.label_string(t))
+                .copied()
+                .unwrap_or(0.0)
+    }
+}
+
+/// The maximum cycle ratio `max_cycles (Σ delay / Σ tokens)` of a live
+/// marked graph, by bisection with Bellman–Ford positive-cycle detection.
+/// Returns `None` for graphs without cycles.
+pub fn max_cycle_ratio(mg: &MgStg, delays: &DelayAssignment) -> Option<f64> {
+    let nodes = mg.transitions();
+    if nodes.is_empty() {
+        return None;
+    }
+    let arcs: Vec<(usize, usize, u32)> = mg
+        .arcs()
+        .map(|((a, b), attr)| (a, b, attr.tokens))
+        .collect();
+    if arcs.is_empty() {
+        return None;
+    }
+
+    // A cycle exists iff the graph has one (live MGs always do).
+    let total: f64 = nodes.iter().map(|&t| delays.delay(mg, t)).sum();
+    let mut lo = 0.0f64;
+    let mut hi = total.max(1.0) * 2.0;
+
+    // has_cycle_with_ratio_above(λ): positive cycle in weights
+    // w(a→b) = delay(b) − λ·tokens.
+    let index: BTreeMap<usize, usize> = nodes.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let positive_cycle = |lambda: f64| -> bool {
+        let n = nodes.len();
+        let mut dist = vec![0.0f64; n];
+        for _ in 0..n {
+            let mut changed = false;
+            for &(a, b, tokens) in &arcs {
+                let w = delays.delay(mg, b) - lambda * f64::from(tokens);
+                let (ia, ib) = (index[&a], index[&b]);
+                if dist[ia] + w > dist[ib] + 1e-12 {
+                    dist[ib] = dist[ia] + w;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return false;
+            }
+        }
+        true
+    };
+
+    if !positive_cycle(lo) {
+        return None;
+    }
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if positive_cycle(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Convenience: the cycle time of the slowest cycle (alias of the maximum
+/// cycle ratio).
+pub fn cycle_time(mg: &MgStg, delays: &DelayAssignment) -> Option<f64> {
+    max_cycle_ratio(mg, delays)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_stg::parse_astg;
+
+    fn ring() -> MgStg {
+        let text = "\
+.model ring
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+";
+        MgStg::from_stg_mg(&parse_astg(text).expect("valid")).expect("mg")
+    }
+
+    #[test]
+    fn single_token_ring_period_is_the_sum_of_delays() {
+        let mg = ring();
+        let delays = DelayAssignment::uniform(10.0);
+        let period = max_cycle_ratio(&mg, &delays).expect("cyclic");
+        assert!((period - 40.0).abs() < 1e-6, "{period}");
+    }
+
+    #[test]
+    fn two_tokens_halve_the_period() {
+        // Built directly (a doubly-marked ring is a timed MG, not a
+        // consistent STG): two transitions, one token on each arc.
+        let mut stg = si_stg::Stg::new("ring2");
+        let a = stg.add_signal("a", si_stg::SignalKind::Input);
+        let mut mg = MgStg::empty_like(&stg);
+        let ap = mg.add_transition(si_stg::TransitionLabel::first(a, Polarity::Plus));
+        let am = mg.add_transition(si_stg::TransitionLabel::first(a, Polarity::Minus));
+        mg.insert_arc(ap, am, 1, false);
+        mg.insert_arc(am, ap, 1, false);
+        let delays = DelayAssignment::uniform(10.0);
+        let period = max_cycle_ratio(&mg, &delays).expect("cyclic");
+        assert!((period - 10.0).abs() < 1e-6, "{period}");
+    }
+
+    #[test]
+    fn single_edge_padding_is_cheaper_than_signal_padding() {
+        let mg = ring();
+        let mut starved = DelayAssignment::uniform(10.0);
+        starved.pad_label("a+", 12.0);
+        let mut repeater = DelayAssignment::uniform(10.0);
+        repeater.pad_signal(&mg, "a", 12.0);
+        let base = max_cycle_ratio(&mg, &DelayAssignment::uniform(10.0)).expect("cyclic");
+        let t_starved = max_cycle_ratio(&mg, &starved).expect("cyclic");
+        let t_repeater = max_cycle_ratio(&mg, &repeater).expect("cyclic");
+        assert!(t_starved > base);
+        assert!(t_repeater > t_starved, "{t_repeater} vs {t_starved}");
+        assert!((t_repeater - base - 24.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slowest_cycle_dominates() {
+        // Two cycles sharing a transition: the padded one sets the period
+        // only while it is the slower.
+        let text = "\
+.model twoloops
+.inputs a b
+.outputs c
+.graph
+a+ c+
+c+ a-
+a- c-
+c- a+
+c+ b+
+b+ b-
+b- c-
+.marking { <c-,a+> <b-,c-> }
+.end
+";
+        let mg = MgStg::from_stg_mg(&parse_astg(text).expect("valid")).expect("mg");
+        let base = max_cycle_ratio(&mg, &DelayAssignment::uniform(5.0)).expect("cyclic");
+        let mut padded = DelayAssignment::uniform(5.0);
+        padded.pad_label("b+", 100.0);
+        let slow = max_cycle_ratio(&mg, &padded).expect("cyclic");
+        assert!(slow > base + 40.0);
+    }
+
+    #[test]
+    fn fifo_cycle_time_grows_with_padding() {
+        let (stg, _) = si_suite::benchmark("fifo")
+            .expect("present")
+            .circuit()
+            .expect("loads");
+        let mg = MgStg::from_stg_mg(&stg).expect("mg");
+        let base = max_cycle_ratio(&mg, &DelayAssignment::uniform(20.0)).expect("cyclic");
+        let mut padded = DelayAssignment::uniform(20.0);
+        padded.pad_signal(&mg, "l", 60.0);
+        let slow = max_cycle_ratio(&mg, &padded).expect("cyclic");
+        assert!(slow > base, "{slow} <= {base}");
+    }
+}

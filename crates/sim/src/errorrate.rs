@@ -1,0 +1,209 @@
+//! Isochronic-fork failure-rate estimation (thesis Sec. 7.2).
+//!
+//! For a constraint whose adversary path has `m` gate hops, the thesis
+//! formula reads
+//!
+//! ```text
+//! ER = ∫_{error_length}^{2√N} i(l) dl · ( ∫_0^{short} i(l) dl )^m
+//! ```
+//!
+//! the probability that the constrained direct wire is long enough to be
+//! overtaken *and* that every wire of the adversary path is short. The
+//! circuit error rate is taken pessimistically: the circuit fails if any
+//! constraint fails.
+//!
+//! Buffer insertion (`ForkStyle::BufferedDirect`, the `buf-1` series of
+//! Fig. 7.5) splits the long direct wire: the wire itself gets faster, but
+//! the repeater *decouples the fork* — the adversary's first hop no longer
+//! sees the long branch's capacitance and speeds up by the decoupling
+//! factor (thesis Sec. 4.2.3), which shrinks the error length and *raises*
+//! the failure probability.
+
+use crate::tech::TechnologyModel;
+use crate::wirelength::WireLengthDistribution;
+
+/// Fork construction for the direct (constrained) wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForkStyle {
+    /// Plain fork: both branches share the fork capacitance (`un-buf`).
+    Unbuffered,
+    /// One repeater on the direct wire (`buf-1`).
+    BufferedDirect,
+}
+
+/// Parameters of the error-rate estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorRateConfig {
+    /// Gate count of the die (drives the wire-length distribution).
+    pub n_gates: u64,
+    /// Assumed maximum length of adversary-path wires, in gate pitches
+    /// (the thesis uses about 20).
+    pub short_wire: f64,
+    /// Fork construction.
+    pub style: ForkStyle,
+    /// Fraction of the short-wire delay the adversary's first hop saves
+    /// when a repeater decouples the fork (synthetic calibration of the
+    /// Sec. 4.2.3 effect).
+    pub decoupling_gain: f64,
+}
+
+impl ErrorRateConfig {
+    /// Thesis-style defaults for an `n_gates` die.
+    pub fn new(n_gates: u64, style: ForkStyle) -> Self {
+        Self {
+            n_gates,
+            short_wire: 20.0,
+            style,
+            decoupling_gain: 0.55,
+        }
+    }
+}
+
+/// Failure probability of a single constraint whose adversary path has
+/// `gates` gate hops, under technology `tech`.
+pub fn constraint_error_rate(tech: &TechnologyModel, config: &ErrorRateConfig, gates: u32) -> f64 {
+    let dist = WireLengthDistribution::with_defaults(config.n_gates);
+    // Adversary path delay: `gates` gate hops with short wires between.
+    // In the unbuffered fork, the adversary's first hop is slowed by the
+    // shared fork capacitance (it effectively sees part of the long
+    // branch); the repeater removes that coupling.
+    let base_path = tech.path_delay(gates, config.short_wire);
+    let (path_delay, error_length) = match config.style {
+        ForkStyle::Unbuffered => {
+            let coupled =
+                base_path + config.decoupling_gain * tech.wire_delay(config.short_wire * 8.0);
+            (coupled, tech.error_length(coupled))
+        }
+        ForkStyle::BufferedDirect => {
+            // Decoupled adversary races a buffered direct wire: solve
+            // buffered_wire_delay(L) = path numerically.
+            let l = solve_buffered_error_length(tech, base_path);
+            (base_path, l)
+        }
+    };
+    let _ = path_delay;
+    let p_long = dist.probability_longer_than(error_length);
+    let p_short = dist.probability_shorter_than(config.short_wire);
+    p_long * p_short.powi(gates as i32)
+}
+
+fn solve_buffered_error_length(tech: &TechnologyModel, path_delay: f64) -> f64 {
+    // buffered_wire_delay is monotone in L: bisect.
+    let mut lo = 0.0f64;
+    let mut hi = 1.0e7;
+    if tech.buffered_wire_delay(hi) < path_delay {
+        return hi;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if tech.buffered_wire_delay(mid) < path_delay {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Pessimistic circuit error rate: the circuit glitches if any constraint
+/// fails. `constraint_gates` holds the adversary-path gate count of every
+/// strong constraint in the circuit.
+pub fn circuit_error_rate(
+    tech: &TechnologyModel,
+    config: &ErrorRateConfig,
+    constraint_gates: &[u32],
+) -> f64 {
+    let mut survive = 1.0f64;
+    for &g in constraint_gates {
+        survive *= 1.0 - constraint_error_rate(tech, config, g);
+    }
+    1.0 - survive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::NODES;
+
+    fn fifo_like() -> Vec<u32> {
+        // A handful of level-3/5 constraints like Table 7.1's strong ones.
+        vec![1, 1, 2, 2, 3]
+    }
+
+    #[test]
+    fn error_rate_grows_as_technology_shrinks() {
+        // Fig. 7.5 shape (un-buf series).
+        let mut prev = 0.0;
+        for tech in NODES {
+            let config = ErrorRateConfig::new(1_000_000, ForkStyle::Unbuffered);
+            let er = circuit_error_rate(&tech, &config, &fifo_like());
+            assert!(er > prev, "{} nm: {er} <= {prev}", tech.node_nm);
+            prev = er;
+        }
+    }
+
+    #[test]
+    fn buffer_insertion_raises_the_error_rate() {
+        // Fig. 7.5 shape (buf-1 above un-buf at every node).
+        for tech in NODES {
+            let unbuf = circuit_error_rate(
+                &tech,
+                &ErrorRateConfig::new(1_000_000, ForkStyle::Unbuffered),
+                &fifo_like(),
+            );
+            let buf = circuit_error_rate(
+                &tech,
+                &ErrorRateConfig::new(1_000_000, ForkStyle::BufferedDirect),
+                &fifo_like(),
+            );
+            assert!(
+                buf > unbuf,
+                "{} nm: buf {buf} <= unbuf {unbuf}",
+                tech.node_nm
+            );
+        }
+    }
+
+    #[test]
+    fn error_rate_grows_with_scale() {
+        // Fig. 7.6 shape: 0.5M → 4M gates at 90 nm.
+        let tech = NODES[0];
+        let mut prev = 0.0;
+        for n in [500_000u64, 1_000_000, 2_000_000, 4_000_000] {
+            let config = ErrorRateConfig::new(n, ForkStyle::Unbuffered);
+            let er = circuit_error_rate(&tech, &config, &fifo_like());
+            assert!(er > prev, "{n} gates: {er} <= {prev}");
+            prev = er;
+        }
+    }
+
+    #[test]
+    fn error_rates_are_probabilities() {
+        for tech in NODES {
+            for style in [ForkStyle::Unbuffered, ForkStyle::BufferedDirect] {
+                let config = ErrorRateConfig::new(1_000_000, style);
+                let er = circuit_error_rate(&tech, &config, &fifo_like());
+                assert!((0.0..=1.0).contains(&er), "{er}");
+            }
+        }
+    }
+
+    #[test]
+    fn longer_adversary_paths_fail_less() {
+        let tech = NODES[3];
+        let config = ErrorRateConfig::new(1_000_000, ForkStyle::Unbuffered);
+        let short = constraint_error_rate(&tech, &config, 1);
+        let long = constraint_error_rate(&tech, &config, 4);
+        assert!(long < short);
+    }
+
+    #[test]
+    fn magnitudes_match_the_thesis_band() {
+        // Fig. 7.5 plots single-digit-to-low-teens percentages at 1M gates.
+        let config = ErrorRateConfig::new(1_000_000, ForkStyle::Unbuffered);
+        let er90 = circuit_error_rate(&NODES[0], &config, &fifo_like());
+        let er32 = circuit_error_rate(&NODES[3], &config, &fifo_like());
+        assert!(er90 > 0.0005 && er90 < 0.10, "90nm: {er90}");
+        assert!(er32 > er90 && er32 < 0.30, "32nm: {er32}");
+    }
+}

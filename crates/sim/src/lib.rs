@@ -1,0 +1,27 @@
+//! Timing simulation and deep-submicron analysis substrate (thesis
+//! Sec. 7.2): an event-driven gate-level simulator with per-branch wire
+//! delays and glitch detection, synthetic technology models for the
+//! 90/65/45/32 nm nodes, the Davis interconnect-length distribution and the
+//! thesis error-rate formulas, delay padding elements (repeater vs
+//! current-starved) and marked-graph cycle-time analysis for the delay
+//! penalty of Fig. 7.7.
+//!
+//! The thesis ran HSPICE with the ASU PTM bulk libraries; this crate
+//! substitutes an analytic calibration with the same trends (gate delay
+//! scales down faster than wire delay; buffer insertion decouples fork
+//! branches). Absolute numbers differ from silicon, the trends — which are
+//! what Figs. 7.5–7.7 plot — are preserved.
+
+mod apply;
+mod cycletime;
+mod errorrate;
+mod event;
+mod tech;
+mod wirelength;
+
+pub use apply::apply_padding;
+pub use cycletime::{cycle_time, max_cycle_ratio, DelayAssignment};
+pub use errorrate::{circuit_error_rate, constraint_error_rate, ErrorRateConfig, ForkStyle};
+pub use event::{simulate, DelayModel, Glitch, SimOutcome, SimulateError};
+pub use tech::{node, TechnologyModel, NODES};
+pub use wirelength::WireLengthDistribution;

@@ -1,0 +1,151 @@
+//! Synthetic technology calibration for the 90–32 nm nodes.
+//!
+//! Substitutes the ASU PTM + HSPICE characterization of thesis Sec. 7.2
+//! with an analytic model keeping the deep-submicron trends: gate delay
+//! shrinks roughly linearly with the node, while (local) wire delay per
+//! gate pitch shrinks much more slowly and its quadratic RC term grows in
+//! relative weight — so the wire-length threshold at which an isochronic
+//! fork fails drops from node to node.
+
+/// One technology node's delay calibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechnologyModel {
+    /// Feature size in nanometres.
+    pub node_nm: u32,
+    /// FO4-ish gate delay, picoseconds.
+    pub gate_delay_ps: f64,
+    /// Linear wire delay per gate pitch, picoseconds.
+    pub wire_linear_ps: f64,
+    /// Quadratic (RC) wire delay coefficient, ps per pitch².
+    pub wire_quadratic_ps: f64,
+    /// Delay of an inserted repeater, picoseconds.
+    pub buffer_delay_ps: f64,
+}
+
+impl TechnologyModel {
+    /// Delay of an unbuffered wire of `l` gate pitches.
+    pub fn wire_delay(&self, l: f64) -> f64 {
+        self.wire_linear_ps * l + self.wire_quadratic_ps * l * l
+    }
+
+    /// Delay of the same wire split once by a repeater (halves the
+    /// quadratic term, adds the buffer delay).
+    pub fn buffered_wire_delay(&self, l: f64) -> f64 {
+        2.0 * self.wire_delay(l / 2.0) + self.buffer_delay_ps
+    }
+
+    /// Delay of an adversary path with `gates` gate hops whose internal
+    /// wires are `short` pitches each.
+    pub fn path_delay(&self, gates: u32, short: f64) -> f64 {
+        f64::from(gates) * (self.gate_delay_ps + self.wire_delay(short))
+    }
+
+    /// The wire length (in pitches) beyond which a direct wire becomes
+    /// slower than the given path delay — the `error_length` of the thesis
+    /// error-rate formula. Solved analytically from the quadratic model.
+    pub fn error_length(&self, path_delay_ps: f64) -> f64 {
+        // wire_quadratic·L² + wire_linear·L − path = 0
+        let a = self.wire_quadratic_ps;
+        let b = self.wire_linear_ps;
+        let c = -path_delay_ps;
+        ((b * b - 4.0 * a * c).sqrt() - b) / (2.0 * a)
+    }
+}
+
+/// The four nodes of thesis Figs. 7.5 and 7.7 (90, 65, 45, 32 nm).
+pub const NODES: [TechnologyModel; 4] = [
+    TechnologyModel {
+        node_nm: 90,
+        gate_delay_ps: 40.0,
+        wire_linear_ps: 0.100,
+        wire_quadratic_ps: 0.00010,
+        buffer_delay_ps: 30.0,
+    },
+    TechnologyModel {
+        node_nm: 65,
+        gate_delay_ps: 28.0,
+        wire_linear_ps: 0.095,
+        wire_quadratic_ps: 0.00016,
+        buffer_delay_ps: 22.0,
+    },
+    TechnologyModel {
+        node_nm: 45,
+        gate_delay_ps: 18.0,
+        wire_linear_ps: 0.092,
+        wire_quadratic_ps: 0.00026,
+        buffer_delay_ps: 15.0,
+    },
+    TechnologyModel {
+        node_nm: 32,
+        gate_delay_ps: 12.0,
+        wire_linear_ps: 0.090,
+        wire_quadratic_ps: 0.00040,
+        buffer_delay_ps: 10.0,
+    },
+];
+
+/// Looks up a node by feature size.
+pub fn node(nm: u32) -> Option<TechnologyModel> {
+    NODES.iter().copied().find(|t| t.node_nm == nm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_delay_is_monotone_in_length() {
+        for t in NODES {
+            assert!(t.wire_delay(100.0) < t.wire_delay(200.0));
+            assert!(t.wire_delay(0.0) == 0.0);
+        }
+    }
+
+    #[test]
+    fn gate_delay_shrinks_faster_than_wire_delay() {
+        // The deep-submicron premise: across nodes, the ratio of a long
+        // wire's delay to a gate delay grows.
+        let long = 500.0;
+        let mut prev_ratio = 0.0;
+        for t in NODES {
+            let ratio = t.wire_delay(long) / t.gate_delay_ps;
+            assert!(ratio > prev_ratio, "{} nm ratio {ratio}", t.node_nm);
+            prev_ratio = ratio;
+        }
+    }
+
+    #[test]
+    fn error_length_shrinks_with_the_node() {
+        // The same 1-gate adversary path is overtaken by ever-shorter
+        // wires as the node shrinks — the Fig. 7.5 driver.
+        let mut prev = f64::INFINITY;
+        for t in NODES {
+            let l = t.error_length(t.path_delay(1, 20.0));
+            assert!(l < prev, "{} nm error length {l}", t.node_nm);
+            assert!(l > 20.0, "error length must exceed the short-wire scale");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn error_length_inverts_wire_delay() {
+        for t in NODES {
+            let d = t.path_delay(2, 15.0);
+            let l = t.error_length(d);
+            assert!((t.wire_delay(l) - d).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn buffered_long_wire_is_faster() {
+        for t in NODES {
+            assert!(t.buffered_wire_delay(800.0) < t.wire_delay(800.0));
+        }
+    }
+
+    #[test]
+    fn node_lookup() {
+        assert_eq!(node(65).expect("exists").node_nm, 65);
+        assert!(node(28).is_none());
+    }
+}

@@ -1,0 +1,173 @@
+//! The Davis stochastic interconnect-length distribution used in thesis
+//! Sec. 7.2 to estimate isochronic-fork failure rates on an `N`-gate die.
+//!
+//! The density (up to normalization) is the thesis formula:
+//!
+//! ```text
+//! 1 ≤ l ≤ √N :   i(l) ∝ (l³/3 − 2√N·l² + 2N·l) · l^(2p−4)
+//! √N ≤ l ≤ 2√N : i(l) ∝ ((2√N − l)³ / 3)      · l^(2p−4)
+//! ```
+//!
+//! with Rent exponent `p = 0.85`. The normalization constant Γ is computed
+//! numerically so the density integrates to one (the thesis uses the
+//! closed form; the error-rate formulas only consume probabilities, for
+//! which a unit integral is what matters).
+
+/// Wire lengths are measured in gate pitches on a die of `n_gates` gates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireLengthDistribution {
+    n_gates: f64,
+    p: f64,
+    norm: f64,
+}
+
+impl WireLengthDistribution {
+    /// Builds the distribution for an `n_gates`-gate die with Rent
+    /// exponent `p` (the thesis uses `p = 0.85`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_gates < 4` or `p` is not in `(0, 1)`.
+    pub fn new(n_gates: u64, p: f64) -> Self {
+        assert!(n_gates >= 4, "need at least 4 gates");
+        assert!(p > 0.0 && p < 1.0, "Rent exponent must be in (0, 1)");
+        let mut d = Self {
+            n_gates: n_gates as f64,
+            p,
+            norm: 1.0,
+        };
+        let total = d.integrate_raw(1.0, d.max_length());
+        d.norm = 1.0 / total;
+        d
+    }
+
+    /// The thesis default: Rent exponent 0.85.
+    pub fn with_defaults(n_gates: u64) -> Self {
+        Self::new(n_gates, 0.85)
+    }
+
+    /// Maximum wire length, `2√N` gate pitches.
+    pub fn max_length(&self) -> f64 {
+        2.0 * self.n_gates.sqrt()
+    }
+
+    fn raw_density(&self, l: f64) -> f64 {
+        if l < 1.0 || l > self.max_length() {
+            return 0.0;
+        }
+        let sqrt_n = self.n_gates.sqrt();
+        let shape = if l <= sqrt_n {
+            l * l * l / 3.0 - 2.0 * sqrt_n * l * l + 2.0 * self.n_gates * l
+        } else {
+            let r = 2.0 * sqrt_n - l;
+            r * r * r / 3.0
+        };
+        shape * l.powf(2.0 * self.p - 4.0)
+    }
+
+    /// The normalized probability density at `l` gate pitches.
+    pub fn density(&self, l: f64) -> f64 {
+        self.norm * self.raw_density(l)
+    }
+
+    fn integrate_raw(&self, lo: f64, hi: f64) -> f64 {
+        let lo = lo.max(1.0);
+        let hi = hi.min(self.max_length());
+        if hi <= lo {
+            return 0.0;
+        }
+        // Adaptive-ish trapezoid on a log grid (the density is heavy near
+        // l = 1 and smooth elsewhere).
+        let steps = 4000usize;
+        let ratio = (hi / lo).powf(1.0 / steps as f64);
+        let mut total = 0.0;
+        let mut x0 = lo;
+        let mut f0 = self.raw_density(x0);
+        for _ in 0..steps {
+            let x1 = x0 * ratio;
+            let f1 = self.raw_density(x1);
+            total += 0.5 * (f0 + f1) * (x1 - x0);
+            x0 = x1;
+            f0 = f1;
+        }
+        total
+    }
+
+    /// Probability that a wire is between `lo` and `hi` gate pitches.
+    pub fn probability_between(&self, lo: f64, hi: f64) -> f64 {
+        (self.norm * self.integrate_raw(lo, hi)).clamp(0.0, 1.0)
+    }
+
+    /// Probability that a wire is longer than `l` gate pitches.
+    pub fn probability_longer_than(&self, l: f64) -> f64 {
+        self.probability_between(l, self.max_length())
+    }
+
+    /// Probability that a wire is shorter than `l` gate pitches.
+    pub fn probability_shorter_than(&self, l: f64) -> f64 {
+        self.probability_between(1.0, l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_integrates_to_one() {
+        for n in [100_000u64, 1_000_000, 4_000_000] {
+            let d = WireLengthDistribution::with_defaults(n);
+            let total = d.probability_between(1.0, d.max_length());
+            assert!((total - 1.0).abs() < 1e-6, "n={n}: {total}");
+        }
+    }
+
+    #[test]
+    fn short_wires_dominate() {
+        let d = WireLengthDistribution::with_defaults(1_000_000);
+        assert!(d.probability_shorter_than(20.0) > 0.5);
+        assert!(d.probability_longer_than(1000.0) < 0.05);
+    }
+
+    #[test]
+    fn tail_probability_decreases_with_length() {
+        let d = WireLengthDistribution::with_defaults(1_000_000);
+        let mut prev = 1.0;
+        for l in [10.0, 50.0, 200.0, 800.0, 1500.0] {
+            let p = d.probability_longer_than(l);
+            assert!(p < prev, "l={l}: {p} >= {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn larger_dies_have_heavier_tails() {
+        // Fig. 7.6 driver: at a fixed absolute length the long-wire
+        // probability grows with gate count.
+        let threshold = 300.0;
+        let mut prev = 0.0;
+        for n in [500_000u64, 1_000_000, 2_000_000, 4_000_000] {
+            let p = WireLengthDistribution::with_defaults(n).probability_longer_than(threshold);
+            assert!(p > prev, "n={n}: {p} <= {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn density_vanishes_outside_support() {
+        let d = WireLengthDistribution::with_defaults(1_000_000);
+        assert_eq!(d.density(0.5), 0.0);
+        assert_eq!(d.density(d.max_length() + 1.0), 0.0);
+        assert!(d.density(2.0) > 0.0);
+    }
+
+    #[test]
+    fn piecewise_joint_is_continuous() {
+        let d = WireLengthDistribution::with_defaults(1_000_000);
+        let sqrt_n = 1000.0;
+        let left = d.density(sqrt_n - 1e-3);
+        let right = d.density(sqrt_n + 1e-3);
+        let rel = (left - right).abs() / left.max(right);
+        assert!(rel < 0.05, "jump at √N: {left} vs {right}");
+    }
+}

@@ -1,0 +1,26 @@
+//! Signal transition graphs (STGs), the `astg`/`.g` interchange format,
+//! marked-graph STG views, state graphs with excitation/quiescent regions,
+//! and projection onto operator signals (thesis Ch. 3 and Sec. 5.2).
+//!
+//! An STG is an interpreted Petri net whose transitions are labelled with
+//! signal edges (`req+`, `ack-`, `csc0+/2`, …). This crate layers those
+//! labels over [`si_petri::PetriNet`], parses and writes the textual `.g`
+//! format used by petrify-era tools, converts marked-graph components into
+//! the transition-level [`MgStg`] form that the relaxation engine
+//! manipulates, generates binary-coded state graphs ([`StateGraph`]) with
+//! the region machinery of thesis Sec. 3.4, and implements the local-STG
+//! projection of Algorithm 1 together with the shortcut-place redundancy
+//! check of Algorithm 3.
+
+mod mg;
+mod parse;
+mod project;
+mod sg;
+mod signal;
+mod stg;
+
+pub use mg::{ArcAttr, MgStg};
+pub use parse::{parse_astg, write_astg, ParseAstgError, IMEC_RAM_READ_SBUF_G};
+pub use sg::{SgState, StateGraph};
+pub use signal::{Polarity, SignalId, SignalKind, TransitionLabel};
+pub use stg::{Stg, StgError, StgHealth};

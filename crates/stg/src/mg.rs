@@ -1,0 +1,667 @@
+//! Marked-graph STGs at the transition level.
+//!
+//! Inside an MG every place has exactly one input and one output transition,
+//! so the thesis (Sec. 5.2.2) works with *arcs* `t1 ⇒ t2` carrying the
+//! tokens of the implicit place `<t1, t2>`. [`MgStg`] is that view: labelled
+//! transitions plus token-counted arcs, with the structural predicates the
+//! relaxation engine needs (precedence, concurrency, liveness, safeness and
+//! the Algorithm 3 shortcut-place redundancy check).
+
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use si_petri::MgComponent;
+
+use crate::signal::{SignalId, SignalKind, TransitionLabel};
+use crate::stg::{SignalDecl, Stg, StgError};
+
+/// Attributes of an arc (implicit place) of an [`MgStg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArcAttr {
+    /// Tokens currently held by the implicit place.
+    pub tokens: u32,
+    /// Whether this is an order-restriction arc (`#` in the thesis Ch. 6):
+    /// never relaxed and never removed as redundant.
+    pub restriction: bool,
+}
+
+/// A marked-graph STG over transition-level arcs.
+///
+/// Transition ids are stable across edits (removed transitions are
+/// tombstoned), so the relaxation engine can hold ids across structural
+/// rewrites. All iteration orders are deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MgStg {
+    /// Model name, inherited from the source STG.
+    pub name: String,
+    signals: Vec<SignalDecl>,
+    transitions: Vec<Option<TransitionLabel>>,
+    arcs: BTreeMap<(usize, usize), ArcAttr>,
+    initial_code: u64,
+}
+
+impl MgStg {
+    /// Builds the transition-level view of one MG component of `stg`.
+    ///
+    /// Parallel places between the same transition pair merge to the
+    /// binding (minimum-token) constraint.
+    ///
+    /// # Errors
+    ///
+    /// [`StgError::MalformedMarkedGraph`] if a place of the component is
+    /// dangling, and any error from [`Stg::initial_values`].
+    pub fn from_component(stg: &Stg, comp: &MgComponent) -> Result<Self, StgError> {
+        let values = stg.initial_values()?;
+        let mut initial_code = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            if v {
+                initial_code |= 1u64 << i;
+            }
+        }
+
+        let mut mg = Self {
+            name: stg.name.clone(),
+            signals: stg.signals.clone(),
+            transitions: Vec::new(),
+            arcs: BTreeMap::new(),
+            initial_code,
+        };
+        for t in comp.net.transitions() {
+            let orig = comp.transition_map[t.0];
+            mg.transitions.push(Some(stg.label(orig)));
+        }
+        let m0 = comp.net.initial_marking();
+        for p in comp.net.places() {
+            let pre = comp.net.place_pre(p);
+            let post = comp.net.place_post(p);
+            let (&src, &dst) = match (pre.first(), post.first()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(StgError::MalformedMarkedGraph {
+                        reason: format!(
+                            "place `{}` is dangling in the MG component",
+                            comp.net.place_name(p)
+                        ),
+                    })
+                }
+            };
+            mg.insert_arc(src.0, dst.0, m0[p.0], false);
+        }
+        Ok(mg)
+    }
+
+    /// Builds an `MgStg` directly (used by tests and builders); the caller
+    /// supplies the signal table of the owning [`Stg`] via `stg`.
+    pub fn from_stg_mg(stg: &Stg) -> Result<Self, StgError> {
+        let comps = stg.mg_components(4096)?;
+        match comps.len() {
+            1 => Ok(comps.into_iter().next().expect("checked")),
+            n => Err(StgError::MalformedMarkedGraph {
+                reason: format!("expected a marked graph, got {n} MG components"),
+            }),
+        }
+    }
+
+    /// Global initial state code (bit `i` = initial value of signal `i`).
+    pub fn initial_code(&self) -> u64 {
+        self.initial_code
+    }
+
+    /// Overrides the initial state code.
+    pub fn set_initial_code(&mut self, code: u64) {
+        self.initial_code = code;
+    }
+
+    /// Number of signals in the signal table.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Name of signal `s`.
+    pub fn signal_name(&self, s: SignalId) -> &str {
+        &self.signals[s.0].name
+    }
+
+    /// Kind of signal `s`.
+    pub fn signal_kind(&self, s: SignalId) -> SignalKind {
+        self.signals[s.0].kind
+    }
+
+    /// Finds a signal by name.
+    pub fn signal_by_name(&self, name: &str) -> Option<SignalId> {
+        self.signals
+            .iter()
+            .position(|d| d.name == name)
+            .map(SignalId)
+    }
+
+    /// The signal-name table.
+    pub fn signal_names(&self) -> Vec<String> {
+        self.signals.iter().map(|d| d.name.clone()).collect()
+    }
+
+    /// Alive transition ids, ascending.
+    pub fn transitions(&self) -> Vec<usize> {
+        (0..self.transitions.len())
+            .filter(|&i| self.transitions[i].is_some())
+            .collect()
+    }
+
+    /// Whether transition `t` is alive.
+    pub fn is_alive(&self, t: usize) -> bool {
+        self.transitions.get(t).is_some_and(|l| l.is_some())
+    }
+
+    /// Label of transition `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is dead or out of range.
+    pub fn label(&self, t: usize) -> TransitionLabel {
+        self.transitions[t].expect("transition is alive")
+    }
+
+    /// Renders transition `t`'s label (`req+`, `csc0-/2`).
+    pub fn label_string(&self, t: usize) -> String {
+        self.label(t).display(&self.signal_names()).to_string()
+    }
+
+    /// Finds an alive transition by rendered label.
+    pub fn transition_by_label(&self, label: &str) -> Option<usize> {
+        self.transitions()
+            .into_iter()
+            .find(|&t| self.label_string(t) == label)
+    }
+
+    /// Adds a transition (used by builders/tests) and returns its id.
+    pub fn add_transition(&mut self, label: TransitionLabel) -> usize {
+        self.transitions.push(Some(label));
+        self.transitions.len() - 1
+    }
+
+    /// Creates an empty `MgStg` sharing `stg`'s signal table. The initial
+    /// code defaults to all-zero; set it with [`MgStg::set_initial_code`].
+    pub fn empty_like(stg: &Stg) -> Self {
+        Self {
+            name: stg.name.clone(),
+            signals: stg.signals.clone(),
+            transitions: Vec::new(),
+            arcs: BTreeMap::new(),
+            initial_code: 0,
+        }
+    }
+
+    /// All arcs `((src, dst), attr)` in deterministic order.
+    pub fn arcs(&self) -> impl Iterator<Item = ((usize, usize), ArcAttr)> + '_ {
+        self.arcs.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Attribute of arc `src ⇒ dst`, if present.
+    pub fn arc(&self, src: usize, dst: usize) -> Option<ArcAttr> {
+        self.arcs.get(&(src, dst)).copied()
+    }
+
+    /// Inserts (or merges into) the arc `src ⇒ dst`.
+    ///
+    /// Parallel insertions merge to the minimum token count (the binding
+    /// constraint); restriction status is sticky.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is dead.
+    pub fn insert_arc(&mut self, src: usize, dst: usize, tokens: u32, restriction: bool) {
+        assert!(
+            self.is_alive(src) && self.is_alive(dst),
+            "arc endpoints must be alive"
+        );
+        self.arcs
+            .entry((src, dst))
+            .and_modify(|a| {
+                a.tokens = a.tokens.min(tokens);
+                a.restriction |= restriction;
+            })
+            .or_insert(ArcAttr {
+                tokens,
+                restriction,
+            });
+    }
+
+    /// Removes the arc `src ⇒ dst`; returns its attributes if it existed.
+    pub fn remove_arc(&mut self, src: usize, dst: usize) -> Option<ArcAttr> {
+        self.arcs.remove(&(src, dst))
+    }
+
+    /// Removes a transition and all incident arcs.
+    pub fn remove_transition(&mut self, t: usize) {
+        self.transitions[t] = None;
+        self.arcs.retain(|&(a, b), _| a != t && b != t);
+    }
+
+    /// Predecessor transitions of `t` (thesis `/t`).
+    pub fn preds(&self, t: usize) -> Vec<usize> {
+        self.arcs
+            .keys()
+            .filter(|&&(_, b)| b == t)
+            .map(|&(a, _)| a)
+            .collect()
+    }
+
+    /// Successor transitions of `t` (thesis `t.`).
+    pub fn succs(&self, t: usize) -> Vec<usize> {
+        self.arcs
+            .keys()
+            .filter(|&&(a, _)| a == t)
+            .map(|&(_, b)| b)
+            .collect()
+    }
+
+    /// Minimum-token weight of a non-empty directed path from `a` to `b`
+    /// (Dijkstra over arc token counts). With `exclude_direct`, the arc
+    /// `(a, b)` is removed from the graph entirely, as in the Algorithm 3
+    /// shortcut-place construction. `a == b` asks for the lightest cycle
+    /// through `a`.
+    pub fn min_token_path(&self, a: usize, b: usize, exclude_direct: bool) -> Option<u32> {
+        let blocked = exclude_direct.then_some((a, b));
+        let mut dist: BTreeMap<usize, u32> = BTreeMap::new();
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, usize)>> = BinaryHeap::new();
+        // Seed with the arcs leaving `a` so that paths are non-empty; `a`
+        // itself gets a distance only if reached again through a cycle.
+        for (&(src, dst), attr) in &self.arcs {
+            if src == a && blocked != Some((src, dst)) {
+                let d = attr.tokens;
+                if dist.get(&dst).is_none_or(|&seen| d < seen) {
+                    dist.insert(dst, d);
+                    heap.push(std::cmp::Reverse((d, dst)));
+                }
+            }
+        }
+        while let Some(std::cmp::Reverse((d, n))) = heap.pop() {
+            if dist.get(&n).is_some_and(|&seen| d > seen) {
+                continue;
+            }
+            for (&(src, dst), attr) in &self.arcs {
+                if src != n || blocked == Some((src, dst)) {
+                    continue;
+                }
+                let nd = d + attr.tokens;
+                if dist.get(&dst).is_none_or(|&seen| nd < seen) {
+                    dist.insert(dst, nd);
+                    heap.push(std::cmp::Reverse((nd, dst)));
+                }
+            }
+        }
+        dist.get(&b).copied()
+    }
+
+    /// Whether `a` must fire before `b` in the current cycle: a token-free
+    /// directed path `a → b` exists.
+    pub fn precedes(&self, a: usize, b: usize) -> bool {
+        a != b && self.min_token_path(a, b, false) == Some(0)
+    }
+
+    /// Whether `a` and `b` are concurrent (neither precedes the other).
+    pub fn concurrent(&self, a: usize, b: usize) -> bool {
+        a != b && !self.precedes(a, b) && !self.precedes(b, a)
+    }
+
+    /// Whether the MG is live: strongly connected over alive transitions
+    /// and every directed cycle carries at least one token (equivalently,
+    /// the token-free subgraph is acyclic).
+    pub fn is_live(&self) -> bool {
+        let alive = self.transitions();
+        if alive.is_empty() {
+            return false;
+        }
+        self.strongly_connected(&alive) && self.zero_token_acyclic(&alive)
+    }
+
+    fn strongly_connected(&self, alive: &[usize]) -> bool {
+        let reach = |forward: bool| -> BTreeSet<usize> {
+            let mut seen = BTreeSet::new();
+            let mut stack = vec![alive[0]];
+            seen.insert(alive[0]);
+            while let Some(n) = stack.pop() {
+                for (&(a, b), _) in &self.arcs {
+                    let (from, to) = if forward { (a, b) } else { (b, a) };
+                    if from == n && seen.insert(to) {
+                        stack.push(to);
+                    }
+                }
+            }
+            seen
+        };
+        let fwd = reach(true);
+        let bwd = reach(false);
+        alive.iter().all(|t| fwd.contains(t) && bwd.contains(t))
+    }
+
+    fn zero_token_acyclic(&self, alive: &[usize]) -> bool {
+        // Kahn's algorithm on the token-free subgraph.
+        let mut indeg: BTreeMap<usize, usize> = alive.iter().map(|&t| (t, 0)).collect();
+        for (&(_, b), attr) in &self.arcs {
+            if attr.tokens == 0 {
+                *indeg.get_mut(&b).expect("alive") += 1;
+            }
+        }
+        let mut queue: Vec<usize> = indeg
+            .iter()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(&t, _)| t)
+            .collect();
+        let mut removed = 0usize;
+        while let Some(n) = queue.pop() {
+            removed += 1;
+            for (&(a, b), attr) in &self.arcs {
+                if attr.tokens == 0 && a == n {
+                    let d = indeg.get_mut(&b).expect("alive");
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(b);
+                    }
+                }
+            }
+        }
+        removed == alive.len()
+    }
+
+    /// Whether the MG is safe: every implicit place can hold at most one
+    /// token in any reachable marking. For a live MG the bound of place
+    /// `(a, b)` is `tokens(a, b) + min-token-path(b → a)`.
+    pub fn is_safe(&self) -> bool {
+        self.arcs.iter().all(|(&(a, b), attr)| {
+            match self.min_token_path(b, a, false) {
+                Some(back) => attr.tokens + back <= 1,
+                None => attr.tokens <= 1, // no cycle: bound is the initial count
+            }
+        })
+    }
+
+    /// The Algorithm 3 redundancy check for the implicit place on arc
+    /// `src ⇒ dst`: the arc is redundant iff a different path `src → dst`
+    /// carries no more tokens than the arc itself, or the arc is a marked
+    /// self-loop ("loop-only place").
+    pub fn is_redundant_arc(&self, src: usize, dst: usize) -> bool {
+        let Some(attr) = self.arc(src, dst) else {
+            return false;
+        };
+        if src == dst {
+            return attr.tokens >= 1;
+        }
+        match self.min_token_path(src, dst, true) {
+            Some(weight) => weight <= attr.tokens,
+            None => false,
+        }
+    }
+
+    /// Removes every redundant non-restriction arc (thesis Sec. 5.3.3);
+    /// returns the removed arcs.
+    pub fn eliminate_redundant_arcs(&mut self) -> Vec<(usize, usize)> {
+        let mut removed = Vec::new();
+        loop {
+            let candidates: Vec<(usize, usize)> = self
+                .arcs
+                .iter()
+                .filter(|&(_, attr)| !attr.restriction)
+                .map(|(&k, _)| k)
+                .collect();
+            let mut changed = false;
+            for (a, b) in candidates {
+                if self.arcs.contains_key(&(a, b)) && self.is_redundant_arc(a, b) {
+                    self.remove_arc(a, b);
+                    removed.push((a, b));
+                    changed = true;
+                }
+            }
+            if !changed {
+                return removed;
+            }
+        }
+    }
+
+    /// The initial marking as a map from arcs to token counts.
+    pub fn initial_marking(&self) -> BTreeMap<(usize, usize), u32> {
+        self.arcs
+            .iter()
+            .map(|(&k, attr)| (k, attr.tokens))
+            .collect()
+    }
+
+    /// Whether transition `t` is enabled in `marking`.
+    pub fn enabled_in(&self, t: usize, marking: &BTreeMap<(usize, usize), u32>) -> bool {
+        self.is_alive(t)
+            && self
+                .arcs
+                .keys()
+                .filter(|&&(_, b)| b == t)
+                .all(|k| marking.get(k).copied().unwrap_or(0) > 0)
+    }
+
+    /// Fires `t` in `marking`, returning the successor marking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not enabled.
+    pub fn fire_in(
+        &self,
+        t: usize,
+        marking: &BTreeMap<(usize, usize), u32>,
+    ) -> BTreeMap<(usize, usize), u32> {
+        assert!(self.enabled_in(t, marking), "transition {t} is not enabled");
+        let mut next = marking.clone();
+        for (&(a, b), _) in &self.arcs {
+            if b == t {
+                *next.get_mut(&(a, b)).expect("incoming arc") -= 1;
+            }
+        }
+        for (&(a, b), _) in &self.arcs {
+            if a == t {
+                *next.get_mut(&(a, b)).expect("outgoing arc") += 1;
+            }
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::Polarity;
+    use crate::stg::Stg;
+
+    /// Builds the SR-latch local STG of thesis Fig. 5.4 directly:
+    /// b- ⇒ a-, b+/2 ⇒ a+ are the type-4 arcs.
+    fn sr_latch_local() -> (MgStg, BTreeMap<&'static str, usize>) {
+        let mut stg = Stg::new("sr");
+        let a = stg.add_signal("a", SignalKind::Input);
+        let b = stg.add_signal("b", SignalKind::Input);
+        let o = stg.add_signal("o", SignalKind::Output);
+        let mut mg = MgStg {
+            name: "sr".into(),
+            signals: stg.signals.clone(),
+            transitions: Vec::new(),
+            arcs: BTreeMap::new(),
+            initial_code: 0,
+        };
+        let am = mg.add_transition(TransitionLabel::first(a, Polarity::Minus));
+        let ap = mg.add_transition(TransitionLabel::first(a, Polarity::Plus));
+        let bm = mg.add_transition(TransitionLabel::first(b, Polarity::Minus));
+        let bp = mg.add_transition(TransitionLabel::first(b, Polarity::Plus));
+        let bm2 = mg.add_transition(TransitionLabel::new(b, Polarity::Minus, 2));
+        let bp2 = mg.add_transition(TransitionLabel::new(b, Polarity::Plus, 2));
+        let op = mg.add_transition(TransitionLabel::first(o, Polarity::Plus));
+        let om = mg.add_transition(TransitionLabel::first(o, Polarity::Minus));
+        // a- ⇒ o+, a+ ⇒ o-, b-/2 ⇒ o- : type (1)
+        mg.insert_arc(am, op, 0, false);
+        mg.insert_arc(ap, om, 0, false);
+        mg.insert_arc(bm2, om, 0, false);
+        // o- ⇒ b+, o+ ⇒ b+/2 : type (2)
+        mg.insert_arc(om, bp, 1, false);
+        mg.insert_arc(op, bp2, 0, false);
+        // b+ ⇒ b-, b+/2 ⇒ b-/2 : type (3)
+        mg.insert_arc(bp, bm, 0, false);
+        mg.insert_arc(bp2, bm2, 0, false);
+        // b- ⇒ a-, b+/2 ⇒ a+ : type (4)
+        mg.insert_arc(bm, am, 0, false);
+        mg.insert_arc(bp2, ap, 0, false);
+        let names = [
+            ("a-", am),
+            ("a+", ap),
+            ("b-", bm),
+            ("b+", bp),
+            ("b-/2", bm2),
+            ("b+/2", bp2),
+            ("o+", op),
+            ("o-", om),
+        ]
+        .into_iter()
+        .collect();
+        (mg, names)
+    }
+
+    #[test]
+    fn sr_latch_is_live_and_safe() {
+        let (mg, _) = sr_latch_local();
+        assert!(mg.is_live());
+        assert!(mg.is_safe());
+    }
+
+    #[test]
+    fn precedence_and_concurrency() {
+        let (mg, n) = sr_latch_local();
+        assert!(mg.precedes(n["b-"], n["a-"]));
+        assert!(mg.precedes(n["a-"], n["o+"]));
+        assert!(!mg.precedes(n["o+"], n["a-"]));
+        assert!(!mg.concurrent(n["b-"], n["a-"]));
+    }
+
+    #[test]
+    fn min_token_path_counts_tokens() {
+        let (mg, n) = sr_latch_local();
+        // o- → b+ carries one token; path o- → a- must go the long way.
+        assert_eq!(mg.min_token_path(n["o-"], n["b+"], false), Some(1));
+        assert_eq!(mg.min_token_path(n["b+"], n["a-"], false), Some(0));
+    }
+
+    #[test]
+    fn shortcut_place_is_redundant() {
+        // Thesis Fig. 5.14 (a): p4 = <x+, x-> is a shortcut of the path
+        // x+ → y+ → x-.
+        let mut stg = Stg::new("fig514a");
+        let x = stg.add_signal("x", SignalKind::Input);
+        let y = stg.add_signal("y", SignalKind::Input);
+        let mut mg = MgStg {
+            name: "fig514a".into(),
+            signals: stg.signals.clone(),
+            transitions: Vec::new(),
+            arcs: BTreeMap::new(),
+            initial_code: 0,
+        };
+        let xp = mg.add_transition(TransitionLabel::first(x, Polarity::Plus));
+        let yp = mg.add_transition(TransitionLabel::first(y, Polarity::Plus));
+        let xm = mg.add_transition(TransitionLabel::first(x, Polarity::Minus));
+        let ym = mg.add_transition(TransitionLabel::first(y, Polarity::Minus));
+        mg.insert_arc(xp, yp, 0, false); // p2
+        mg.insert_arc(yp, xm, 0, false); // p3
+        mg.insert_arc(xp, xm, 0, false); // p4: the shortcut
+        mg.insert_arc(xm, ym, 0, false); // p5
+        mg.insert_arc(ym, xp, 1, false); // p1
+        assert!(mg.is_redundant_arc(xp, xm));
+        assert!(!mg.is_redundant_arc(xp, yp));
+        let removed = mg.eliminate_redundant_arcs();
+        assert_eq!(removed, vec![(xp, xm)]);
+        assert!(mg.is_live());
+    }
+
+    #[test]
+    fn marked_path_is_not_a_shortcut() {
+        // Thesis Fig. 5.14 (b) situation: the place <b-, b+> holds one
+        // token, but every alternative path b- → b+ carries two tokens, so
+        // the place is NOT a shortcut and must be kept.
+        let mut stg = Stg::new("fig514b");
+        let x = stg.add_signal("x", SignalKind::Input);
+        let y = stg.add_signal("y", SignalKind::Input);
+        let b = stg.add_signal("b", SignalKind::Input);
+        let mut mg = MgStg {
+            name: "fig514b".into(),
+            signals: stg.signals.clone(),
+            transitions: Vec::new(),
+            arcs: BTreeMap::new(),
+            initial_code: 0,
+        };
+        let bm = mg.add_transition(TransitionLabel::first(b, Polarity::Minus));
+        let xp = mg.add_transition(TransitionLabel::first(x, Polarity::Plus));
+        let yp = mg.add_transition(TransitionLabel::first(y, Polarity::Plus));
+        let bp = mg.add_transition(TransitionLabel::first(b, Polarity::Plus));
+        mg.insert_arc(bm, xp, 0, false);
+        mg.insert_arc(xp, yp, 1, false);
+        mg.insert_arc(yp, bp, 1, false);
+        mg.insert_arc(bp, bm, 0, false);
+        mg.insert_arc(bm, bp, 1, false); // the candidate place: 1 < 2
+        assert!(!mg.is_redundant_arc(bm, bp));
+        // Raising the candidate's tokens to the path weight makes it
+        // redundant again.
+        mg.remove_arc(bm, bp);
+        mg.insert_arc(bm, bp, 2, false);
+        assert!(mg.is_redundant_arc(bm, bp));
+    }
+
+    #[test]
+    fn zero_token_cycle_is_not_live() {
+        let (mut mg, n) = sr_latch_local();
+        // Drain the only token: dead.
+        mg.insert_arc(n["o-"], n["b+"], 0, false); // merges to min = 0
+        assert!(!mg.is_live());
+    }
+
+    #[test]
+    fn two_tokens_in_cycle_is_unsafe() {
+        let mut stg = Stg::new("unsafe");
+        let x = stg.add_signal("x", SignalKind::Input);
+        let mut mg = MgStg {
+            name: "unsafe".into(),
+            signals: stg.signals.clone(),
+            transitions: Vec::new(),
+            arcs: BTreeMap::new(),
+            initial_code: 0,
+        };
+        let xp = mg.add_transition(TransitionLabel::first(x, Polarity::Plus));
+        let xm = mg.add_transition(TransitionLabel::first(x, Polarity::Minus));
+        mg.insert_arc(xp, xm, 1, false);
+        mg.insert_arc(xm, xp, 1, false);
+        assert!(mg.is_live());
+        assert!(!mg.is_safe());
+    }
+
+    #[test]
+    fn restriction_arcs_survive_redundancy_elimination() {
+        let (mut mg, n) = sr_latch_local();
+        mg.insert_arc(n["b-"], n["o+"], 0, true); // redundant but protected
+        let removed = mg.eliminate_redundant_arcs();
+        assert!(!removed.contains(&(n["b-"], n["o+"])));
+        assert!(mg.arc(n["b-"], n["o+"]).is_some());
+    }
+
+    #[test]
+    fn token_game_round_trip() {
+        let (mg, n) = sr_latch_local();
+        let m0 = mg.initial_marking();
+        assert!(mg.enabled_in(n["b+"], &m0));
+        let m1 = mg.fire_in(n["b+"], &m0);
+        assert!(mg.enabled_in(n["b-"], &m1));
+        assert!(!mg.enabled_in(n["b+"], &m1));
+    }
+
+    #[test]
+    fn remove_transition_drops_incident_arcs() {
+        let (mut mg, n) = sr_latch_local();
+        let before = mg.arc_count();
+        mg.remove_transition(n["o+"]);
+        assert!(!mg.is_alive(n["o+"]));
+        assert!(mg.arc_count() < before);
+        assert!(mg.arcs().all(|((a, b), _)| a != n["o+"] && b != n["o+"]));
+    }
+}

@@ -1,0 +1,638 @@
+//! Parser and writer for the `astg` / `.g` STG interchange format used by
+//! petrify-era tools (thesis Sec. 7.3.1 shows a complete example).
+//!
+//! Supported sections: `.model`, `.inputs`, `.outputs`, `.internal`,
+//! `.graph`, `.marking { ... }`, `.end`. Graph lines read
+//! `src dst1 dst2 ...`; nodes are either signal transitions (`req+`,
+//! `csc0-/2`) or explicit places (any other identifier). Arcs between two
+//! transitions create an implicit place, markable as `<t1,t2>` in the
+//! marking section.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use si_petri::{PlaceId, TransitionId};
+
+use crate::signal::{Polarity, SignalKind, TransitionLabel};
+use crate::stg::Stg;
+
+/// Errors from [`parse_astg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAstgError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAstgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "astg parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl Error for ParseAstgError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum NodeRef {
+    Transition(String, Polarity, u32),
+    Place(String),
+}
+
+fn parse_node(token: &str) -> NodeRef {
+    let (base, occurrence) = match token.split_once('/') {
+        Some((b, occ)) => match occ.parse::<u32>() {
+            Ok(n) if n >= 1 => (b, n),
+            _ => return NodeRef::Place(token.to_string()),
+        },
+        None => (token, 1),
+    };
+    if let Some(name) = base.strip_suffix('+') {
+        if !name.is_empty() {
+            return NodeRef::Transition(name.to_string(), Polarity::Plus, occurrence);
+        }
+    }
+    if let Some(name) = base.strip_suffix('-') {
+        if !name.is_empty() {
+            return NodeRef::Transition(name.to_string(), Polarity::Minus, occurrence);
+        }
+    }
+    NodeRef::Place(token.to_string())
+}
+
+/// Parses an STG in the `.g` format.
+///
+/// # Errors
+///
+/// Returns [`ParseAstgError`] on unknown signals, malformed sections,
+/// place-to-place arcs, `.dummy` transitions (unsupported by the thesis
+/// flow) or unknown marking entries.
+pub fn parse_astg(text: &str) -> Result<Stg, ParseAstgError> {
+    let mut stg = Stg::new("stg");
+    let mut declared: BTreeMap<String, SignalKind> = BTreeMap::new();
+    let mut transitions: BTreeMap<(String, Polarity, u32), TransitionId> = BTreeMap::new();
+    let mut places: BTreeMap<String, PlaceId> = BTreeMap::new();
+    let mut implicit: BTreeMap<(TransitionId, TransitionId), PlaceId> = BTreeMap::new();
+    let mut in_graph = false;
+    let mut saw_graph = false;
+
+    let err = |line: usize, message: String| ParseAstgError { line, message };
+
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".model") {
+            stg.name = rest.trim().to_string();
+            continue;
+        }
+        if line.starts_with(".dummy") {
+            return Err(err(lineno, "`.dummy` transitions are not supported".into()));
+        }
+        let declare = |kind: SignalKind,
+                       rest: &str,
+                       stg: &mut Stg,
+                       declared: &mut BTreeMap<String, SignalKind>|
+         -> Result<(), ParseAstgError> {
+            for name in rest.split_whitespace() {
+                if declared.contains_key(name) {
+                    return Err(ParseAstgError {
+                        line: lineno,
+                        message: format!("signal `{name}` declared twice"),
+                    });
+                }
+                declared.insert(name.to_string(), kind);
+                stg.add_signal(name, kind);
+            }
+            Ok(())
+        };
+        if let Some(rest) = line.strip_prefix(".inputs") {
+            declare(SignalKind::Input, rest, &mut stg, &mut declared)?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".outputs") {
+            declare(SignalKind::Output, rest, &mut stg, &mut declared)?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".internal") {
+            declare(SignalKind::Internal, rest, &mut stg, &mut declared)?;
+            continue;
+        }
+        if line == ".graph" {
+            in_graph = true;
+            saw_graph = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".marking") {
+            in_graph = false;
+            parse_marking(rest, lineno, &mut stg, &transitions, &places, &implicit)?;
+            continue;
+        }
+        if line == ".end" {
+            break;
+        }
+        if line.starts_with('.') {
+            return Err(err(lineno, format!("unknown section `{line}`")));
+        }
+        if !in_graph {
+            return Err(err(
+                lineno,
+                format!("unexpected line outside `.graph`: `{line}`"),
+            ));
+        }
+
+        // A graph line: src dst1 dst2 ...
+        let mut tokens = line.split_whitespace();
+        let src_tok = tokens.next().expect("non-empty line");
+        let resolve_t = |name: &str,
+                         pol: Polarity,
+                         occ: u32,
+                         stg: &mut Stg,
+                         transitions: &mut BTreeMap<(String, Polarity, u32), TransitionId>|
+         -> Result<TransitionId, ParseAstgError> {
+            let sig = stg.signal_by_name(name).ok_or_else(|| ParseAstgError {
+                line: lineno,
+                message: format!("undeclared signal `{name}`"),
+            })?;
+            Ok(*transitions
+                .entry((name.to_string(), pol, occ))
+                .or_insert_with(|| stg.add_transition(TransitionLabel::new(sig, pol, occ))))
+        };
+        let resolve_p = |name: &str, stg: &mut Stg, places: &mut BTreeMap<String, PlaceId>| {
+            *places
+                .entry(name.to_string())
+                .or_insert_with(|| stg.net_mut().add_place(name, 0))
+        };
+
+        let src = match parse_node(src_tok) {
+            NodeRef::Transition(name, pol, occ) => {
+                NodeKind::T(resolve_t(&name, pol, occ, &mut stg, &mut transitions)?)
+            }
+            NodeRef::Place(name) => NodeKind::P(resolve_p(&name, &mut stg, &mut places)),
+        };
+        for dst_tok in tokens {
+            let dst = match parse_node(dst_tok) {
+                NodeRef::Transition(name, pol, occ) => {
+                    NodeKind::T(resolve_t(&name, pol, occ, &mut stg, &mut transitions)?)
+                }
+                NodeRef::Place(name) => NodeKind::P(resolve_p(&name, &mut stg, &mut places)),
+            };
+            match (src, dst) {
+                (NodeKind::T(a), NodeKind::T(b)) => {
+                    if !implicit.contains_key(&(a, b)) {
+                        let pname = format!(
+                            "<{},{}>",
+                            stg.net().transition_name(a),
+                            stg.net().transition_name(b)
+                        );
+                        let p = stg.net_mut().add_place(pname, 0);
+                        stg.net_mut().add_arc_tp(a, p);
+                        stg.net_mut().add_arc_pt(p, b);
+                        implicit.insert((a, b), p);
+                    }
+                }
+                (NodeKind::T(a), NodeKind::P(p)) => stg.net_mut().add_arc_tp(a, p),
+                (NodeKind::P(p), NodeKind::T(b)) => stg.net_mut().add_arc_pt(p, b),
+                (NodeKind::P(_), NodeKind::P(_)) => {
+                    return Err(err(lineno, "place-to-place arcs are not allowed".into()))
+                }
+            }
+        }
+    }
+
+    if !saw_graph {
+        return Err(err(1, "missing `.graph` section".into()));
+    }
+    Ok(stg)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NodeKind {
+    T(TransitionId),
+    P(PlaceId),
+}
+
+fn parse_marking(
+    rest: &str,
+    lineno: usize,
+    stg: &mut Stg,
+    transitions: &BTreeMap<(String, Polarity, u32), TransitionId>,
+    places: &BTreeMap<String, PlaceId>,
+    implicit: &BTreeMap<(TransitionId, TransitionId), PlaceId>,
+) -> Result<(), ParseAstgError> {
+    let err = |message: String| ParseAstgError {
+        line: lineno,
+        message,
+    };
+    let body = rest.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or_else(|| err("marking must be wrapped in `{ ... }`".into()))?;
+
+    // Tokenize: `<a+,b->` pairs (optionally `=k`) and bare place names.
+    let mut chars = body.chars().peekable();
+    let mut entries: Vec<(String, u32)> = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        let mut token = String::new();
+        if c == '<' {
+            for ch in chars.by_ref() {
+                token.push(ch);
+                if ch == '>' {
+                    break;
+                }
+            }
+        }
+        while let Some(&ch) = chars.peek() {
+            if ch.is_whitespace() || ch == '<' {
+                break;
+            }
+            token.push(ch);
+            chars.next();
+        }
+        if token.is_empty() {
+            break;
+        }
+        let (name, count) = match token.split_once('=') {
+            Some((n, k)) => (
+                n.to_string(),
+                k.parse::<u32>()
+                    .map_err(|_| err(format!("bad token count in `{token}`")))?,
+            ),
+            None => (token, 1),
+        };
+        entries.push((name, count));
+    }
+
+    for (name, count) in entries {
+        if let Some(inner) = name.strip_prefix('<').and_then(|n| n.strip_suffix('>')) {
+            let (a, b) = inner
+                .split_once(',')
+                .ok_or_else(|| err(format!("bad implicit place `{name}`")))?;
+            let lookup = |tok: &str| -> Result<TransitionId, ParseAstgError> {
+                match parse_node(tok.trim()) {
+                    NodeRef::Transition(n, pol, occ) => transitions
+                        .get(&(n.clone(), pol, occ))
+                        .copied()
+                        .ok_or_else(|| err(format!("unknown transition `{tok}` in marking"))),
+                    NodeRef::Place(_) => Err(err(format!("`{tok}` is not a transition"))),
+                }
+            };
+            let (ta, tb) = (lookup(a)?, lookup(b)?);
+            let p = implicit
+                .get(&(ta, tb))
+                .copied()
+                .ok_or_else(|| err(format!("no implicit place `{name}` in the graph")))?;
+            stg.net_mut().set_initial(p, count);
+        } else {
+            let p = places
+                .get(&name)
+                .copied()
+                .ok_or_else(|| err(format!("unknown place `{name}` in marking")))?;
+            stg.net_mut().set_initial(p, count);
+        }
+    }
+    Ok(())
+}
+
+/// Writes an STG in the `.g` format (implicit places for 1-in/1-out
+/// anonymous places, explicit names otherwise).
+pub fn write_astg(stg: &Stg) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".model {}\n", stg.name));
+    for (section, kind) in [
+        (".inputs", SignalKind::Input),
+        (".outputs", SignalKind::Output),
+        (".internal", SignalKind::Internal),
+    ] {
+        let names: Vec<&str> = stg
+            .signals_of_kind(kind)
+            .into_iter()
+            .map(|s| stg.signal_name(s))
+            .collect();
+        if !names.is_empty() {
+            out.push_str(&format!("{section} {}\n", names.join(" ")));
+        }
+    }
+    out.push_str(".graph\n");
+
+    let net = stg.net();
+    let implicit = |p: PlaceId| -> Option<(TransitionId, TransitionId)> {
+        let pre = net.place_pre(p);
+        let post = net.place_post(p);
+        if pre.len() == 1 && post.len() == 1 && net.place_name(p).starts_with('<') {
+            Some((pre[0], post[0]))
+        } else {
+            None
+        }
+    };
+
+    // Group implicit arcs by source transition.
+    let mut lines: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for t in net.transitions() {
+        let name = net.transition_name(t).to_string();
+        order.push(name.clone());
+        lines.entry(name).or_default();
+    }
+    for p in net.places() {
+        if let Some((a, b)) = implicit(p) {
+            lines
+                .get_mut(net.transition_name(a))
+                .expect("known transition")
+                .push(net.transition_name(b).to_string());
+        } else {
+            let pname = net.place_name(p).to_string();
+            for &b in net.place_post(p) {
+                lines
+                    .entry(pname.clone())
+                    .or_default()
+                    .push(net.transition_name(b).to_string());
+            }
+            for &a in net.place_pre(p) {
+                lines
+                    .get_mut(net.transition_name(a))
+                    .expect("known transition")
+                    .push(pname.clone());
+            }
+            if !order.contains(&pname) {
+                order.push(pname);
+            }
+        }
+    }
+    for name in order {
+        let dsts = &lines[&name];
+        if !dsts.is_empty() {
+            out.push_str(&format!("{name} {}\n", dsts.join(" ")));
+        }
+    }
+
+    // Marking.
+    let m0 = net.initial_marking();
+    let mut entries: Vec<String> = Vec::new();
+    for p in net.places() {
+        let k = m0[p.0];
+        if k == 0 {
+            continue;
+        }
+        let text = match implicit(p) {
+            Some((a, b)) => {
+                format!("<{},{}>", net.transition_name(a), net.transition_name(b))
+            }
+            None => net.place_name(p).to_string(),
+        };
+        if k == 1 {
+            entries.push(text);
+        } else {
+            entries.push(format!("{text}={k}"));
+        }
+    }
+    out.push_str(&format!(".marking {{ {} }}\n.end\n", entries.join(" ")));
+    out
+}
+
+/// The complete `imec-ram-read-sbuf` STG printed verbatim in thesis
+/// Sec. 7.3.1 — the one benchmark input the thesis reproduces in full.
+pub const IMEC_RAM_READ_SBUF_G: &str = "\
+.model imec-ram-read-sbuf
+.inputs req precharged prnotin wenin wsldin
+.outputs ack wsen prnot wen wsld
+.internal csc0 map0 i0 i2 i4 i8
+.graph
+req+ i4+
+i4+ prnot+
+prnot+ prnotin+
+precharged+ prnot+
+prnotin+ wen+
+wen+ precharged- wenin+
+precharged- i0-
+i0- ack+
+wenin+ i0-
+ack+ req-
+req- i8+ wen-
+i8+ csc0-
+wen- wenin-
+wsen- wenin-
+wenin- wsld+ i4- i0+
+i0+ ack-
+i4- prnot-
+wsld+ wsldin+ precharged+
+wsldin+ csc0+
+prnot- prnotin- precharged+
+prnotin- i8-
+i8- csc0+
+wsld- wsldin-
+wsldin- wsen+ map0+
+ack- req+
+wsen+ req+
+csc0+ wsld- i2-
+i2- wsen+
+csc0- map0-
+map0+ ack-
+map0- i2+
+i2+ wsen-
+.marking { <i4+,prnot+> <precharged+,prnot+> }
+.end
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HANDSHAKE: &str = "\
+.model handshake
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end
+";
+
+    #[test]
+    fn parses_simple_handshake() {
+        let stg = parse_astg(HANDSHAKE).expect("valid");
+        assert_eq!(stg.name, "handshake");
+        assert_eq!(stg.signal_count(), 2);
+        assert_eq!(stg.net().transition_count(), 4);
+        assert_eq!(stg.net().place_count(), 4);
+        let m0 = stg.net().initial_marking();
+        assert_eq!(m0.iter().sum::<u32>(), 1);
+        assert!(stg.net().is_live(100).expect("small"));
+        assert!(stg.net().is_safe(100).expect("small"));
+    }
+
+    #[test]
+    fn parses_occurrence_indices() {
+        let text = "\
+.model multi
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b+/2
+b+/2 a+
+.marking { <b+/2,a+> }
+.end
+";
+        let stg = parse_astg(text).expect("valid");
+        let b = stg.signal_by_name("b").expect("declared");
+        assert_eq!(stg.transitions_of(b).len(), 2);
+        let t = stg
+            .net()
+            .transition_by_name("b+/2")
+            .expect("occurrence transition exists");
+        assert_eq!(stg.label(t).occurrence, 2);
+    }
+
+    #[test]
+    fn parses_thesis_imec_ram_read_sbuf() {
+        let stg = parse_astg(IMEC_RAM_READ_SBUF_G).expect("valid");
+        assert_eq!(stg.name, "imec-ram-read-sbuf");
+        assert_eq!(stg.signals_of_kind(SignalKind::Input).len(), 5);
+        assert_eq!(stg.signals_of_kind(SignalKind::Output).len(), 5);
+        assert_eq!(stg.signals_of_kind(SignalKind::Internal).len(), 6);
+        assert!(stg.net().is_live(100_000).expect("bounded"));
+        assert!(stg.net().is_safe(100_000).expect("bounded"));
+        // Thesis Table 7.2: 112 reachable markings.
+        let reach = stg.net().reachability(100_000).expect("bounded");
+        assert_eq!(reach.markings.len(), 112);
+    }
+
+    #[test]
+    fn rejects_undeclared_signal() {
+        let text = ".model x\n.inputs a\n.graph\na+ zz+\n.marking { }\n.end\n";
+        let e = parse_astg(text).unwrap_err();
+        assert!(e.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn rejects_dummy_section() {
+        let text = ".model x\n.dummy d\n.graph\n.end\n";
+        assert!(parse_astg(text).is_err());
+    }
+
+    #[test]
+    fn explicit_places_work() {
+        let text = "\
+.model choice
+.inputs a b
+.outputs c
+.graph
+p0 a+ b+
+a+ c+
+b+ c+
+c+ p1
+p1 a-
+a- c-
+c- p0
+.marking { p0 }
+.end
+";
+        let stg = parse_astg(text).expect("valid");
+        assert!(stg.net().place_by_name("p0").is_some());
+        let p0 = stg.net().place_by_name("p0").expect("exists");
+        assert!(stg.net().is_choice_place(p0));
+        assert!(stg.net().is_free_choice());
+    }
+
+    #[test]
+    fn round_trips_through_writer() {
+        let stg = parse_astg(IMEC_RAM_READ_SBUF_G).expect("valid");
+        let text = write_astg(&stg);
+        let stg2 = parse_astg(&text).expect("round trip");
+        assert_eq!(stg2.signal_count(), stg.signal_count());
+        assert_eq!(stg2.net().transition_count(), stg.net().transition_count());
+        let r1 = stg.net().reachability(100_000).expect("bounded");
+        let r2 = stg2.net().reachability(100_000).expect("bounded");
+        assert_eq!(r1.markings.len(), r2.markings.len());
+    }
+
+    #[test]
+    fn rejects_place_to_place_arcs() {
+        let text = ".model x\n.inputs a\n.graph\np0 p1\n.end\n";
+        let e = parse_astg(text).unwrap_err();
+        assert!(e.message.contains("place-to-place"));
+    }
+
+    #[test]
+    fn rejects_unknown_marking_entries() {
+        let text = "\
+.model x
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <zz+,a+> }
+.end
+";
+        assert!(parse_astg(text).is_err());
+    }
+
+    #[test]
+    fn rejects_double_declaration() {
+        let text = ".model x\n.inputs a\n.outputs a\n.graph\na+ a-\n.end\n";
+        let e = parse_astg(text).unwrap_err();
+        assert!(e.message.contains("twice"));
+    }
+
+    #[test]
+    fn missing_graph_section_is_an_error() {
+        assert!(parse_astg(".model x\n.inputs a\n.end\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_arcs_are_merged() {
+        let text = "\
+.model dup
+.inputs a
+.outputs b
+.graph
+a+ b+
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+";
+        let stg = parse_astg(text).expect("valid");
+        // Only one implicit place between a+ and b+.
+        assert_eq!(stg.net().place_count(), 4);
+    }
+
+    #[test]
+    fn marking_with_counts() {
+        let text = "\
+.model counts
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a+
+.marking { <b+,a+>=2 }
+.end
+";
+        let stg = parse_astg(text).expect("valid");
+        assert_eq!(stg.net().initial_marking().iter().sum::<u32>(), 2);
+    }
+}

@@ -1,0 +1,522 @@
+//! Binary-coded state graphs and the region machinery of thesis Sec. 3.4.
+
+use std::collections::HashMap;
+
+use crate::mg::MgStg;
+use crate::signal::{Polarity, SignalId, TransitionLabel};
+use crate::stg::{Stg, StgError};
+
+/// One state of a [`StateGraph`]: a reachable marking labelled with the
+/// binary signal vector (bit `i` = value of signal `i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SgState {
+    /// Packed signal values.
+    pub code: u64,
+}
+
+/// A state graph: reachable markings of an STG with consistent binary codes
+/// (thesis Sec. 3.4). State 0 is the initial state. Edge labels are the
+/// transition ids of the source [`MgStg`] or [`Stg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateGraph {
+    /// States; index 0 is the initial state.
+    pub states: Vec<SgState>,
+    /// `edges[i]` lists `(transition id, successor state)` pairs.
+    pub edges: Vec<Vec<(usize, usize)>>,
+    labels: Vec<Option<TransitionLabel>>,
+}
+
+impl StateGraph {
+    /// Generates the state graph of a marked-graph STG (the `Write_sg` step
+    /// of Algorithm 4), checking consistency along the way.
+    ///
+    /// # Errors
+    ///
+    /// [`StgError::Inconsistent`] if rising/falling transitions do not
+    /// alternate, [`StgError::Petri`] via budget exhaustion.
+    pub fn of_mg(mg: &MgStg, budget: usize) -> Result<Self, StgError> {
+        let arc_keys: Vec<(usize, usize)> = mg.arcs().map(|(k, _)| k).collect();
+        let pack = |m: &std::collections::BTreeMap<(usize, usize), u32>| -> Vec<u32> {
+            arc_keys
+                .iter()
+                .map(|k| m.get(k).copied().unwrap_or(0))
+                .collect()
+        };
+        let alive = mg.transitions();
+        let mut labels: Vec<Option<TransitionLabel>> = Vec::new();
+        for &t in &alive {
+            while labels.len() <= t {
+                labels.push(None);
+            }
+            labels[t] = Some(mg.label(t));
+        }
+
+        let m0 = mg.initial_marking();
+        let mut index: HashMap<Vec<u32>, usize> = HashMap::new();
+        let mut markings = vec![m0.clone()];
+        let mut states = vec![SgState {
+            code: mg.initial_code(),
+        }];
+        let mut edges: Vec<Vec<(usize, usize)>> = vec![Vec::new()];
+        index.insert(pack(&m0), 0);
+        let mut frontier = vec![0usize];
+
+        while let Some(i) = frontier.pop() {
+            let m = markings[i].clone();
+            let code = states[i].code;
+            for &t in &alive {
+                if !mg.enabled_in(t, &m) {
+                    continue;
+                }
+                let label = mg.label(t);
+                let bit = 1u64 << label.signal.0;
+                let before = code & bit != 0;
+                if before == label.polarity.target_value() {
+                    return Err(StgError::Inconsistent {
+                        signal: mg.signal_name(label.signal).to_string(),
+                    });
+                }
+                let next_code = code ^ bit;
+                let next_m = mg.fire_in(t, &m);
+                let key = pack(&next_m);
+                let j = match index.get(&key) {
+                    Some(&j) => {
+                        if states[j].code != next_code {
+                            return Err(StgError::Inconsistent {
+                                signal: mg.signal_name(label.signal).to_string(),
+                            });
+                        }
+                        j
+                    }
+                    None => {
+                        if markings.len() >= budget {
+                            return Err(StgError::Petri(
+                                si_petri::PetriError::StateBudgetExceeded { budget },
+                            ));
+                        }
+                        let j = markings.len();
+                        markings.push(next_m);
+                        states.push(SgState { code: next_code });
+                        edges.push(Vec::new());
+                        index.insert(key, j);
+                        frontier.push(j);
+                        j
+                    }
+                };
+                edges[i].push((t, j));
+            }
+        }
+        Ok(Self {
+            states,
+            edges,
+            labels,
+        })
+    }
+
+    /// Generates the state graph of a full (possibly free-choice) STG.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StateGraph::of_mg`], plus errors from
+    /// [`Stg::initial_values`].
+    pub fn of_stg(stg: &Stg, budget: usize) -> Result<Self, StgError> {
+        let values = stg.initial_values()?;
+        let mut code0 = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            if v {
+                code0 |= 1u64 << i;
+            }
+        }
+        let net = stg.net();
+        let labels: Vec<Option<TransitionLabel>> =
+            net.transitions().map(|t| Some(stg.label(t))).collect();
+
+        let m0 = net.initial_marking();
+        let mut index: HashMap<Vec<u32>, usize> = HashMap::new();
+        let mut markings = vec![m0.clone()];
+        let mut states = vec![SgState { code: code0 }];
+        let mut edges: Vec<Vec<(usize, usize)>> = vec![Vec::new()];
+        index.insert(m0, 0);
+        let mut frontier = vec![0usize];
+
+        while let Some(i) = frontier.pop() {
+            let m = markings[i].clone();
+            let code = states[i].code;
+            for t in net.enabled_transitions(&m) {
+                let label = stg.label(t);
+                let bit = 1u64 << label.signal.0;
+                if (code & bit != 0) == label.polarity.target_value() {
+                    return Err(StgError::Inconsistent {
+                        signal: stg.signal_name(label.signal).to_string(),
+                    });
+                }
+                let next_code = code ^ bit;
+                let next_m = net.fire(t, &m);
+                let j = match index.get(&next_m) {
+                    Some(&j) => {
+                        if states[j].code != next_code {
+                            return Err(StgError::Inconsistent {
+                                signal: stg.signal_name(label.signal).to_string(),
+                            });
+                        }
+                        j
+                    }
+                    None => {
+                        if markings.len() >= budget {
+                            return Err(StgError::Petri(
+                                si_petri::PetriError::StateBudgetExceeded { budget },
+                            ));
+                        }
+                        let j = markings.len();
+                        markings.push(next_m.clone());
+                        states.push(SgState { code: next_code });
+                        edges.push(Vec::new());
+                        index.insert(next_m, j);
+                        frontier.push(j);
+                        j
+                    }
+                };
+                edges[i].push((t.0, j));
+            }
+        }
+        Ok(Self {
+            states,
+            edges,
+            labels,
+        })
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Label of transition id `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` was not alive when the graph was generated.
+    pub fn label(&self, t: usize) -> TransitionLabel {
+        self.labels[t].expect("transition was alive at SG generation")
+    }
+
+    /// The binary code of state `i`.
+    pub fn code(&self, i: usize) -> u64 {
+        self.states[i].code
+    }
+
+    /// Value of `signal` in state `i`.
+    pub fn value(&self, i: usize, signal: SignalId) -> bool {
+        self.states[i].code & (1u64 << signal.0) != 0
+    }
+
+    /// Whether `signal` is excited in state `i` (some transition of the
+    /// signal is enabled).
+    pub fn is_excited(&self, i: usize, signal: SignalId) -> bool {
+        self.edges[i]
+            .iter()
+            .any(|&(t, _)| self.label(t).signal == signal)
+    }
+
+    /// The successor of state `i` by transition `t`, if enabled there.
+    pub fn successor_by(&self, i: usize, t: usize) -> Option<usize> {
+        self.edges[i]
+            .iter()
+            .find(|&&(u, _)| u == t)
+            .map(|&(_, j)| j)
+    }
+
+    /// States where transition `t` is enabled: the excitation region of that
+    /// particular occurrence.
+    pub fn er_of_transition(&self, t: usize) -> Vec<usize> {
+        (0..self.states.len())
+            .filter(|&i| self.edges[i].iter().any(|&(u, _)| u == t))
+            .collect()
+    }
+
+    /// `ER(signal±)`: states where any occurrence of the edge is enabled.
+    pub fn er_states(&self, signal: SignalId, polarity: Polarity) -> Vec<usize> {
+        (0..self.states.len())
+            .filter(|&i| {
+                self.edges[i].iter().any(|&(t, _)| {
+                    let l = self.label(t);
+                    l.signal == signal && l.polarity == polarity
+                })
+            })
+            .collect()
+    }
+
+    /// `QR(signal+)` (`value = true`) or `QR(signal-)` (`value = false`):
+    /// states where the signal is stable at `value`.
+    pub fn qr_states(&self, signal: SignalId, value: bool) -> Vec<usize> {
+        (0..self.states.len())
+            .filter(|&i| !self.is_excited(i, signal) && self.value(i, signal) == value)
+            .collect()
+    }
+
+    /// The indexed excitation regions `ERi(signal±)` of thesis Sec. 3.4:
+    /// the connected components of the excitation region, each sorted, in
+    /// deterministic order.
+    pub fn er_regions(&self, signal: SignalId, polarity: Polarity) -> Vec<Vec<usize>> {
+        self.connected_components(&self.er_states(signal, polarity))
+    }
+
+    /// The indexed quiescent regions `QRi` (`value = true` for `QR(sig+)`).
+    pub fn qr_regions(&self, signal: SignalId, value: bool) -> Vec<Vec<usize>> {
+        self.connected_components(&self.qr_states(signal, value))
+    }
+
+    fn connected_components(&self, members: &[usize]) -> Vec<Vec<usize>> {
+        let member_set: std::collections::BTreeSet<usize> = members.iter().copied().collect();
+        let mut assigned: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        for &start in members {
+            if assigned.contains_key(&start) {
+                continue;
+            }
+            let id = components.len();
+            let mut component = Vec::new();
+            let mut stack = vec![start];
+            assigned.insert(start, id);
+            while let Some(s) = stack.pop() {
+                component.push(s);
+                // Undirected adjacency restricted to the member set.
+                for &(_, j) in &self.edges[s] {
+                    if member_set.contains(&j) && !assigned.contains_key(&j) {
+                        assigned.insert(j, id);
+                        stack.push(j);
+                    }
+                }
+                for (p, outs) in self.edges.iter().enumerate() {
+                    if member_set.contains(&p)
+                        && !assigned.contains_key(&p)
+                        && outs.iter().any(|&(_, j)| j == s)
+                    {
+                        assigned.insert(p, id);
+                        stack.push(p);
+                    }
+                }
+            }
+            component.sort_unstable();
+            components.push(component);
+        }
+        components
+    }
+
+    /// The next transition of `signal` to fire from state `i`: the unique
+    /// transition of the signal first reachable along any path. Returns
+    /// `None` if the signal never fires from `i`.
+    ///
+    /// # Errors
+    ///
+    /// [`StgError::Inconsistent`] if different paths reach different
+    /// occurrences first (impossible in a consistent STG).
+    pub fn next_transition_of(
+        &self,
+        i: usize,
+        signal: SignalId,
+        signal_name: &str,
+    ) -> Result<Option<usize>, StgError> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack = vec![i];
+        seen[i] = true;
+        let mut found: Option<usize> = None;
+        while let Some(s) = stack.pop() {
+            for &(t, j) in &self.edges[s] {
+                if self.label(t).signal == signal {
+                    match found {
+                        None => found = Some(t),
+                        Some(prev) if prev != t => {
+                            return Err(StgError::Inconsistent {
+                                signal: signal_name.to_string(),
+                            })
+                        }
+                        _ => {}
+                    }
+                } else if !seen[j] {
+                    seen[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        Ok(found)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_astg;
+    use crate::signal::SignalKind;
+
+    fn handshake_mg() -> (Stg, MgStg) {
+        let text = "\
+.model handshake
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end
+";
+        let stg = parse_astg(text).expect("valid");
+        let mg = MgStg::from_stg_mg(&stg).expect("marked graph");
+        (stg, mg)
+    }
+
+    #[test]
+    fn handshake_sg_has_four_states() {
+        let (_, mg) = handshake_mg();
+        let sg = StateGraph::of_mg(&mg, 100).expect("consistent");
+        assert_eq!(sg.state_count(), 4);
+        // Initial state 00.
+        assert_eq!(sg.code(0), 0);
+    }
+
+    #[test]
+    fn regions_partition_states() {
+        let (stg, mg) = handshake_mg();
+        let sg = StateGraph::of_mg(&mg, 100).expect("consistent");
+        let req = stg.signal_by_name("req").expect("declared");
+        let ack = stg.signal_by_name("ack").expect("declared");
+        // ER(ack+) = {state after req+}, one state; QR(ack+) similar.
+        assert_eq!(sg.er_states(ack, Polarity::Plus).len(), 1);
+        assert_eq!(sg.er_states(ack, Polarity::Minus).len(), 1);
+        assert_eq!(sg.qr_states(ack, true).len(), 1);
+        assert_eq!(sg.qr_states(ack, false).len(), 1);
+        // req is an input: every state has req either excited or stable.
+        let total = sg.er_states(req, Polarity::Plus).len()
+            + sg.er_states(req, Polarity::Minus).len()
+            + sg.qr_states(req, true).len()
+            + sg.qr_states(req, false).len();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn inconsistent_mg_is_rejected() {
+        // x+ followed by x+ again: inconsistent.
+        let mut stg = Stg::new("bad");
+        let x = stg.add_signal("x", SignalKind::Input);
+        let mut mg = MgStg::empty_like(&stg);
+        let a = mg.add_transition(TransitionLabel::new(x, Polarity::Plus, 1));
+        let b = mg.add_transition(TransitionLabel::new(x, Polarity::Plus, 2));
+        mg.insert_arc(a, b, 0, false);
+        mg.insert_arc(b, a, 1, false);
+        assert!(matches!(
+            StateGraph::of_mg(&mg, 100),
+            Err(StgError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn full_stg_sg_handles_choice() {
+        let text = "\
+.model choice
+.inputs a b
+.outputs c
+.graph
+p0 a+ b+
+a+ c+
+b+ c+
+c+ p1
+p1 a- b-
+a- c-
+b- c-
+c- p0
+.marking { p0 }
+.end
+";
+        // A free-choice STG where either a or b handshakes with c. Note the
+        // second choice must match the first for consistency, so this STG is
+        // only consistent if a+ pairs with a- — here both orders exist, so
+        // consistency fails. Use it to check error reporting:
+        let stg = parse_astg(text).expect("parses");
+        assert!(StateGraph::of_stg(&stg, 1000).is_err());
+    }
+
+    #[test]
+    fn full_stg_sg_of_imec_benchmark() {
+        let stg = parse_astg(crate::parse::IMEC_RAM_READ_SBUF_G).expect("valid");
+        let sg = StateGraph::of_stg(&stg, 100_000).expect("consistent");
+        assert_eq!(sg.state_count(), 112); // thesis Table 7.2
+    }
+
+    #[test]
+    fn indexed_regions_are_connected_partitions() {
+        // fifo-double style: a signal toggling twice per cycle has two
+        // disjoint positive excitation regions. Use a chain where x rises
+        // twice: x+ a+ x- x+/2 b+ x-/2 (ring).
+        let text = "\
+.model twice
+.inputs a b
+.outputs x
+.graph
+x+ a+
+a+ x-
+x- a-
+a- x+/2
+x+/2 b+
+b+ x-/2
+x-/2 b-
+b- x+
+.marking { <b-,x+> }
+.end
+";
+        let stg = parse_astg(text).expect("valid");
+        let mg = MgStg::from_stg_mg(&stg).expect("marked graph");
+        let sg = StateGraph::of_mg(&mg, 1000).expect("consistent");
+        let x = stg.signal_by_name("x").expect("declared");
+        let ers = sg.er_regions(x, Polarity::Plus);
+        assert_eq!(ers.len(), 2, "two separate ER(x+) components: {ers:?}");
+        let qrs = sg.qr_regions(x, true);
+        assert_eq!(qrs.len(), 2, "two separate QR(x+) components: {qrs:?}");
+        // Regions partition their aggregate sets.
+        let total: usize = ers.iter().map(Vec::len).sum();
+        assert_eq!(total, sg.er_states(x, Polarity::Plus).len());
+    }
+
+    #[test]
+    fn next_transition_of_follows_paths() {
+        let (stg, mg) = handshake_mg();
+        let sg = StateGraph::of_mg(&mg, 100).expect("consistent");
+        let ack = stg.signal_by_name("ack").expect("declared");
+        let next = sg
+            .next_transition_of(0, ack, "ack")
+            .expect("consistent")
+            .expect("fires");
+        assert_eq!(sg.label(next).polarity, Polarity::Plus);
+    }
+
+    #[test]
+    fn concurrency_diamonds_enumerate_all_interleavings() {
+        // a+ → (b+ ∥ c+) → a- → (b- ∥ c-) → a+: two diamonds, 8 states.
+        let text = "\
+.model diamonds
+.inputs a
+.outputs b c
+.graph
+a+ b+ c+
+b+ a-
+c+ a-
+a- b- c-
+b- a+
+c- a+
+.marking { <b-,a+> <c-,a+> }
+.end
+";
+        let stg = parse_astg(text).expect("valid");
+        let mg = MgStg::from_stg_mg(&stg).expect("marked graph");
+        let sg = StateGraph::of_mg(&mg, 1000).expect("consistent");
+        assert_eq!(sg.state_count(), 8);
+        // Codes are unique per marking here and consistent: b and c are
+        // concurrent after a+, so both orders exist.
+        let b = stg.signal_by_name("b").expect("declared");
+        let c = stg.signal_by_name("c").expect("declared");
+        assert_eq!(sg.er_states(b, Polarity::Plus).len(), 2);
+        assert_eq!(sg.er_states(c, Polarity::Plus).len(), 2);
+    }
+}

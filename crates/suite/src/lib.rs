@@ -1,0 +1,122 @@
+//! The benchmark corpus: the thirteen speed-independent control circuits of
+//! thesis Table 7.2.
+//!
+//! `imec-ram-read-sbuf` is reproduced **verbatim** from the thesis
+//! (Sec. 7.3.1 prints both its STG and its EQN netlist); the FIFO follows
+//! the Ch. 7.1 design example (a latch controller with an explicit delay
+//! line `d` mirroring the latch-enable `l`, so its done-detector gate
+//! exhibits exactly the case-1/case-3/case-4 mixture of Fig. 7.3). The
+//! remaining eleven circuits are reconstructions: SI controllers with the
+//! same names and interface widths as the historic petrify-era benchmarks,
+//! synthesized by [`si_synth`] into complex gates. Each circuit is
+//! validated by the suite tests: live, safe, consistent, CSC-clean, and
+//! timing-conformant gate by gate.
+//!
+//! # Example
+//!
+//! ```
+//! use si_suite::{benchmarks, Benchmark};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let suite = benchmarks();
+//! assert_eq!(suite.len(), 13);
+//! let fifo = suite.iter().find(|b| b.name == "fifo").expect("present");
+//! let (stg, library) = fifo.circuit()?;
+//! assert_eq!(stg.signal_count(), library.gates.len() + 3); // 3 inputs
+//! # Ok(())
+//! # }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use si_boolean::{parse_eqn, GateLibrary};
+use si_stg::{parse_astg, Stg};
+use si_synth::synthesize;
+
+mod circuits;
+mod extra;
+
+pub use circuits::FIFO_G;
+pub use extra::{extended, FIFO_DOUBLE_G, VME_READ_G};
+
+/// Loading/synthesis failure for a benchmark.
+#[derive(Debug)]
+pub struct LoadBenchmarkError {
+    /// The benchmark name.
+    pub name: &'static str,
+    /// The underlying failure.
+    pub source: Box<dyn Error + Send + Sync>,
+}
+
+impl fmt::Display for LoadBenchmarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "benchmark `{}` failed to load: {}",
+            self.name, self.source
+        )
+    }
+}
+
+impl Error for LoadBenchmarkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(self.source.as_ref())
+    }
+}
+
+/// One benchmark circuit: an STG plus (optionally) a fixed EQN netlist.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// Table 7.2 row name.
+    pub name: &'static str,
+    /// The STG in `.g` format.
+    pub stg_text: &'static str,
+    /// A fixed netlist in restricted EQN format; when `None`, the netlist
+    /// is synthesized from the state graph.
+    pub eqn_text: Option<&'static str>,
+}
+
+impl Benchmark {
+    /// Parses the STG and produces the gate library (fixed or synthesized).
+    ///
+    /// # Errors
+    ///
+    /// Wraps parse/synthesis failures in [`LoadBenchmarkError`].
+    pub fn circuit(&self) -> Result<(Stg, GateLibrary), LoadBenchmarkError> {
+        let wrap = |e: Box<dyn Error + Send + Sync>| LoadBenchmarkError {
+            name: self.name,
+            source: e,
+        };
+        let stg = parse_astg(self.stg_text).map_err(|e| wrap(Box::new(e)))?;
+        let library = match self.eqn_text {
+            Some(text) => {
+                GateLibrary::from_netlist(&parse_eqn(text).map_err(|e| wrap(Box::new(e)))?)
+            }
+            None => synthesize(&stg, 1_000_000).map_err(|e| wrap(Box::new(e)))?,
+        };
+        Ok((stg, library))
+    }
+
+    /// Parses only the STG.
+    ///
+    /// # Errors
+    ///
+    /// Wraps parse failures in [`LoadBenchmarkError`].
+    pub fn stg(&self) -> Result<Stg, LoadBenchmarkError> {
+        parse_astg(self.stg_text).map_err(|e| LoadBenchmarkError {
+            name: self.name,
+            source: Box::new(e),
+        })
+    }
+}
+
+/// The thirteen benchmarks of Table 7.2, in the table's row order.
+pub fn benchmarks() -> Vec<Benchmark> {
+    circuits::all()
+}
+
+/// Finds a benchmark by name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    circuits::all().into_iter().find(|b| b.name == name)
+}

@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+use si_stg::StgError;
+
+use crate::csc::CscViolation;
+
+/// Errors reported by the synthesis flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// The STG itself is malformed (inconsistent, unbounded, …).
+    Stg(StgError),
+    /// Complete state coding is violated; internal signal insertion (which
+    /// the thesis delegates to petrify) would be required.
+    Csc(CscViolation),
+    /// The support of a gate exceeds the exact-minimization cap.
+    SupportTooLarge {
+        /// The signal being synthesized.
+        signal: String,
+        /// The support size found.
+        support: usize,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Stg(e) => write!(f, "{e}"),
+            SynthError::Csc(v) => write!(f, "{v}"),
+            SynthError::SupportTooLarge { signal, support } => write!(
+                f,
+                "gate `{signal}` needs a {support}-variable support, beyond the exact-minimization cap"
+            ),
+        }
+    }
+}
+
+impl Error for SynthError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthError::Stg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StgError> for SynthError {
+    fn from(e: StgError) -> Self {
+        SynthError::Stg(e)
+    }
+}
+
+impl From<CscViolation> for SynthError {
+    fn from(v: CscViolation) -> Self {
+        SynthError::Csc(v)
+    }
+}

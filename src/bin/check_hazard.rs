@@ -1,0 +1,63 @@
+//! `check_hazard STG.g EQN.eqn` — the thesis tool's command line
+//! (Sec. 7.3.1): reads an STG and a restricted-EQN netlist, prints the
+//! adversary-path constraints of the original specification and the
+//! relaxed constraint set sufficient for correctness, then the running
+//! time.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use si_boolean::{parse_eqn, GateLibrary};
+use si_core::derive_timing_constraints;
+use si_stg::parse_astg;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: check_hazard <stg.g> <netlist.eqn>");
+        return ExitCode::from(2);
+    }
+    match run(&args[1], &args[2]) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("check_hazard: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(stg_path: &str, eqn_path: &str) -> Result<(), String> {
+    let stg_text =
+        std::fs::read_to_string(stg_path).map_err(|e| format!("cannot read `{stg_path}`: {e}"))?;
+    let eqn_text =
+        std::fs::read_to_string(eqn_path).map_err(|e| format!("cannot read `{eqn_path}`: {e}"))?;
+
+    let started = Instant::now();
+    let stg = parse_astg(&stg_text).map_err(|e| e.to_string())?;
+    let health = stg.validate(1_000_000).map_err(|e| e.to_string())?;
+    if !health.is_well_formed() {
+        return Err(format!(
+            "STG `{}` is not well formed (live: {}, safe: {}, free-choice: {}, consistent: {})",
+            stg.name, health.live, health.safe, health.free_choice, health.consistent
+        ));
+    }
+    let netlist = parse_eqn(&eqn_text).map_err(|e| e.to_string())?;
+    let library = GateLibrary::from_netlist(&netlist);
+    let report = derive_timing_constraints(&stg, &library).map_err(|e| e.to_string())?;
+
+    println!("The timing constraints in the original specification are:");
+    for c in &report.baseline {
+        println!("{c}");
+    }
+    println!();
+    println!("The timing constraints for this circuit to work correctly are:");
+    for c in &report.constraints {
+        println!("{c}");
+    }
+    println!();
+    println!(
+        "The running time for this program is {:.6} seconds",
+        started.elapsed().as_secs_f64()
+    );
+    Ok(())
+}

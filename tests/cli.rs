@@ -1,0 +1,70 @@
+//! End-to-end test of the `check_hazard` command line (the thesis tool's
+//! interface, Sec. 7.3.1).
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("si-redress-cli-{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("create temp file");
+    f.write_all(contents.as_bytes()).expect("write temp file");
+    path
+}
+
+#[test]
+fn check_hazard_reproduces_the_thesis_report() {
+    let bench = si_redress::suite::benchmark("imec-ram-read-sbuf").expect("bundled");
+    let stg_path = write_temp("imec.g", bench.stg_text);
+    let eqn_path = write_temp("imec.eqn", bench.eqn_text.expect("verbatim netlist"));
+
+    let output = Command::new(env!("CARGO_BIN_EXE_check_hazard"))
+        .arg(&stg_path)
+        .arg(&eqn_path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+
+    assert!(stdout.contains("The timing constraints in the original specification are:"));
+    assert!(stdout.contains("The timing constraints for this circuit to work correctly are:"));
+    assert!(stdout.contains("The running time for this program is"));
+    // Spot-check thesis lines from both sections.
+    assert!(stdout.contains("i0: precharged+ < wenin+"));
+    assert!(stdout.contains("i0: wenin- < precharged-"));
+    assert!(stdout.contains("csc0: wsldin- < i8-"));
+
+    // 19 + 12 constraint lines in total.
+    let lines = stdout.lines().filter(|l| l.contains(" < ")).count();
+    assert_eq!(lines, 31);
+
+    let _ = std::fs::remove_file(stg_path);
+    let _ = std::fs::remove_file(eqn_path);
+}
+
+#[test]
+fn check_hazard_rejects_bad_usage() {
+    let output = Command::new(env!("CARGO_BIN_EXE_check_hazard"))
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("usage"));
+}
+
+#[test]
+fn check_hazard_reports_parse_errors() {
+    let stg_path = write_temp("bad.g", ".model broken\n.inputs a\n");
+    let eqn_path = write_temp("bad.eqn", "a = b;\n");
+    let output = Command::new(env!("CARGO_BIN_EXE_check_hazard"))
+        .arg(&stg_path)
+        .arg(&eqn_path)
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    let _ = std::fs::remove_file(stg_path);
+    let _ = std::fs::remove_file(eqn_path);
+}

@@ -1,0 +1,143 @@
+//! Cross-crate integration: the full pipeline over the entire benchmark
+//! corpus, exercising parser → decomposition → projection → synthesis →
+//! relaxation → constraints → simulation in one flow.
+
+use si_redress::core::AdversaryOracle;
+use si_redress::prelude::*;
+
+#[test]
+fn the_headline_reduction_holds_across_the_suite() {
+    // Thesis Table 7.2: roughly 40 % of adversary-path constraints are
+    // unnecessary. Reconstructed circuits land in the same band: require
+    // a strict overall reduction of at least 20 %.
+    let (mut before, mut after) = (0usize, 0usize);
+    for bench in si_redress::suite::benchmarks() {
+        let (stg, library) = bench.circuit().expect("loads");
+        let report = derive_timing_constraints(&stg, &library).expect("derives");
+        assert!(
+            report.constraints.len() <= report.baseline.len(),
+            "{}: more constraints than baseline",
+            bench.name
+        );
+        before += report.baseline.len();
+        after += report.constraints.len();
+    }
+    assert!(before > 0);
+    let ratio = after as f64 / before as f64;
+    assert!(
+        ratio < 0.80,
+        "reduction too small: {after}/{before} = {ratio:.2}"
+    );
+    assert!(
+        ratio > 0.40,
+        "reduction suspiciously large: {after}/{before}"
+    );
+}
+
+#[test]
+fn every_derived_constraint_has_a_realizable_adversary_path() {
+    for bench in si_redress::suite::benchmarks() {
+        let (stg, library) = bench.circuit().expect("loads");
+        let report = derive_timing_constraints(&stg, &library).expect("derives");
+        let oracle = AdversaryOracle::new(&stg);
+        for c in &report.constraints {
+            let b = stg.signal_by_name(&c.before.signal).expect("declared");
+            let a = stg.signal_by_name(&c.after.signal).expect("declared");
+            let x =
+                si_redress::stg::TransitionLabel::new(b, c.before.polarity, c.before.occurrence);
+            let y = si_redress::stg::TransitionLabel::new(a, c.after.polarity, c.after.occurrence);
+            assert!(
+                oracle.path(x, y).is_some(),
+                "{}: constraint {c} has no causal path",
+                bench.name
+            );
+        }
+    }
+}
+
+#[test]
+fn synthesized_netlists_also_roundtrip_through_eqn() {
+    // Write every synthesized netlist to the restricted EQN format, parse
+    // it back, and confirm the same constraint sets fall out.
+    for name in ["adfast", "converta", "nowick"] {
+        let bench = si_redress::suite::benchmark(name).expect("bundled");
+        let (stg, library) = bench.circuit().expect("loads");
+
+        let mut netlist = si_redress::boolean::Netlist::default();
+        for gate in &library.gates {
+            let terms = gate
+                .up
+                .cubes()
+                .iter()
+                .map(|cube| {
+                    cube.literals()
+                        .map(|(v, pos)| (gate.vars[v].clone(), pos))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            netlist.gates.push(si_redress::boolean::EqnGate {
+                output: gate.output.clone(),
+                terms,
+            });
+        }
+        let text = si_redress::boolean::write_eqn(&netlist);
+        let reparsed = GateLibrary::from_netlist(&parse_eqn(&text).expect("valid"));
+
+        let direct = derive_timing_constraints(&stg, &library).expect("derives");
+        let via_eqn = derive_timing_constraints(&stg, &reparsed).expect("derives");
+        assert_eq!(direct.constraints, via_eqn.constraints, "{name}");
+    }
+}
+
+#[test]
+fn astg_writer_roundtrip_preserves_constraints() {
+    for name in ["fifo", "imec-ram-read-sbuf"] {
+        let bench = si_redress::suite::benchmark(name).expect("bundled");
+        let (stg, library) = bench.circuit().expect("loads");
+        let text = si_redress::stg::write_astg(&stg);
+        let reparsed = parse_astg(&text).expect("round trip");
+        let direct = derive_timing_constraints(&stg, &library).expect("derives");
+        let via_text = derive_timing_constraints(&reparsed, &library).expect("derives");
+        assert_eq!(direct.constraints, via_text.constraints, "{name}");
+        assert_eq!(direct.baseline, via_text.baseline, "{name}");
+    }
+}
+
+#[test]
+fn relaxed_circuits_still_simulate_clean_with_mild_skew() {
+    // The derived constraints are *sufficient*: any skew assignment that
+    // respects them keeps the circuit hazard-free. Mild uniform jitter
+    // respects every constraint (orderings hold by construction).
+    for bench in si_redress::suite::benchmarks() {
+        let (stg, library) = bench.circuit().expect("loads");
+        let mut delays = DelayModel::uniform(40.0, 2.0, 90.0);
+        // Slightly skew every branch of the first gate: still well within
+        // every adversary path's slack (one gate delay ≈ 40 ps).
+        if let Some(gate) = library.gates.first() {
+            for v in &gate.vars {
+                delays.set_wire(v, &gate.output, 7.0);
+            }
+        }
+        let out = simulate(&stg, &library, &delays, 120).expect("simulates");
+        assert!(
+            out.glitches.is_empty(),
+            "{}: {:?}",
+            bench.name,
+            out.glitches
+        );
+    }
+}
+
+#[test]
+fn padding_plans_cover_all_strong_constraints() {
+    for bench in si_redress::suite::benchmarks() {
+        let (stg, library) = bench.circuit().expect("loads");
+        let report = derive_timing_constraints(&stg, &library).expect("derives");
+        let oracle = AdversaryOracle::new(&stg);
+        let plan = si_redress::core::plan_padding(&stg, &oracle, &report.constraints, 5);
+        let strong = report
+            .constraints_within_level(&report.constraints, &oracle, &stg, 5)
+            .len();
+        assert_eq!(plan.entries.len(), strong, "{}", bench.name);
+    }
+}

@@ -1,0 +1,103 @@
+//! The gold test: thesis Sec. 7.3.1 prints, for `imec-ram-read-sbuf`, the
+//! complete tool output — 19 adversary-path constraints before relaxation
+//! and 12 relative timing constraints after. This test reproduces both
+//! lists **exactly**, line for line.
+
+use std::collections::BTreeSet;
+
+use si_redress::prelude::*;
+
+const EXPECTED_BEFORE: &[&str] = &[
+    "ack: map0- < i0+",
+    "wsen: wsldin+ < i2-",
+    "prnot: precharged- < i4-",
+    "wen: req+ < prnotin+",
+    "wen: prnotin- < req+",
+    "wsld: wenin+ < csc0-",
+    "wsld: csc0- < wenin-",
+    "csc0: wsldin- < i8+",
+    "map0: csc0+ < wsldin-",
+    "map0: wsldin+ < csc0+",
+    "i0: precharged+ < wenin+",
+    "i0: wenin- < precharged+",
+    "i2: map0+ < csc0-",
+    "i2: csc0+ < map0+",
+    "i2: csc0- < map0-",
+    "i4: wenin+ < req-",
+    "i4: req- < wenin-",
+    "i8: req+ < prnotin+",
+    "i8: prnotin+ < req-",
+];
+
+const EXPECTED_AFTER: &[&str] = &[
+    "ack: map0- < i0+",
+    "wsen: wsldin+ < i2-",
+    "wen: prnotin- < req+",
+    "wsld: wenin+ < csc0-",
+    "csc0: wsldin- < i8-",
+    "map0: wsldin+ < csc0+",
+    "i0: precharged+ < wenin+",
+    "i0: wenin- < precharged-",
+    "i2: map0+ < csc0-",
+    "i2: csc0+ < map0-",
+    "i4: wenin+ < req-",
+    "i8: req+ < prnotin+",
+];
+
+fn derived() -> (BTreeSet<String>, BTreeSet<String>) {
+    let bench = si_redress::suite::benchmark("imec-ram-read-sbuf").expect("bundled");
+    let (stg, library) = bench.circuit().expect("loads");
+    let report = derive_timing_constraints(&stg, &library).expect("derives");
+    (
+        report.baseline.iter().map(|c| c.to_string()).collect(),
+        report.constraints.iter().map(|c| c.to_string()).collect(),
+    )
+}
+
+#[test]
+fn baseline_matches_the_thesis_printout_exactly() {
+    let (before, _) = derived();
+    let expected: BTreeSet<String> = EXPECTED_BEFORE.iter().map(|s| s.to_string()).collect();
+    assert_eq!(before, expected);
+}
+
+#[test]
+fn relaxed_set_matches_the_thesis_printout_exactly() {
+    let (_, after) = derived();
+    let expected: BTreeSet<String> = EXPECTED_AFTER.iter().map(|s| s.to_string()).collect();
+    assert_eq!(after, expected);
+}
+
+#[test]
+fn reduction_ratio_matches_table_7_2_row() {
+    let (before, after) = derived();
+    assert_eq!(before.len(), 19);
+    assert_eq!(after.len(), 12);
+}
+
+#[test]
+fn derivation_is_deterministic() {
+    let first = derived();
+    let second = derived();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn relaxation_rewrites_three_constraint_endpoints() {
+    // The thesis's subtle effect: three constraints change an endpoint
+    // during relaxation instead of being merely kept or dropped
+    // (wsldin- < i8+ becomes i8-, wenin- < precharged+ becomes
+    // precharged-, csc0+ < map0+ becomes map0-).
+    let (before, after) = derived();
+    for rewritten in [
+        "csc0: wsldin- < i8-",
+        "i0: wenin- < precharged-",
+        "i2: csc0+ < map0-",
+    ] {
+        assert!(after.contains(rewritten), "missing {rewritten}");
+        assert!(
+            !before.contains(rewritten),
+            "{rewritten} already in baseline"
+        );
+    }
+}

@@ -24,7 +24,7 @@ fn main() {
     );
 
     println!("Table 7.1 — list of timing constraints (wire < adversary path)");
-    println!("{:<24} {}", "wire", "adversary path");
+    println!("{:<24} adversary path", "wire");
     for c in &report.constraints {
         let (Some(x), Some(y)) = (lookup(&stg, c, true), lookup(&stg, c, false)) else {
             continue;

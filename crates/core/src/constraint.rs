@@ -107,7 +107,7 @@ mod tests {
                 occurrence: 1,
             },
         };
-        let mut v = vec![mk("b", "x", "y"), mk("a", "x", "y"), mk("a", "w", "y")];
+        let mut v = [mk("b", "x", "y"), mk("a", "x", "y"), mk("a", "w", "y")];
         v.sort();
         assert_eq!(v[0].gate, "a");
         assert_eq!(v[0].before.signal, "w");

@@ -373,7 +373,7 @@ mod tests {
         let init = pairs(&[(3, 4), (6, 3), (5, 2), (5, 7)]);
         let sol = two_clause_solver(&a, &b, &init);
         assert_eq!(sol.len(), 2);
-        assert!(sol.contains(&pairs(&[(2, 1), (3, 1), (7, 1), (8, 1)])) == false);
+        assert!(!sol.contains(&pairs(&[(2, 1), (3, 1), (7, 1), (8, 1)])));
         // A'' = {b,g,h} = {2,7,8}: c (3) is removed because c ≺ d ∈ B.
         assert!(sol.contains(&pairs(&[(2, 1), (7, 1), (8, 1)])));
         assert!(sol.contains(&pairs(&[(2, 4), (7, 4), (8, 4)])));

@@ -81,10 +81,10 @@ mod tests {
         let mut delays = DelayModel::uniform(40.0, 2.0, 80.0);
         apply_padding(&mut delays, &plan, 100.0);
         // Every override is base + exactly one pad.
-        for (_, &ps) in &delays.wire_ps {
+        for &ps in delays.wire_ps.values() {
             assert!((ps - 102.0).abs() < 1e-9, "{ps}");
         }
-        for (_, &ps) in &delays.gate_ps {
+        for &ps in delays.gate_ps.values() {
             assert!((ps - 140.0).abs() < 1e-9, "{ps}");
         }
     }

@@ -325,7 +325,7 @@ impl MgStg {
             let mut stack = vec![alive[0]];
             seen.insert(alive[0]);
             while let Some(n) = stack.pop() {
-                for (&(a, b), _) in &self.arcs {
+                for &(a, b) in self.arcs.keys() {
                     let (from, to) = if forward { (a, b) } else { (b, a) };
                     if from == n && seen.insert(to) {
                         stack.push(to);
@@ -452,12 +452,12 @@ impl MgStg {
     ) -> BTreeMap<(usize, usize), u32> {
         assert!(self.enabled_in(t, marking), "transition {t} is not enabled");
         let mut next = marking.clone();
-        for (&(a, b), _) in &self.arcs {
+        for &(a, b) in self.arcs.keys() {
             if b == t {
                 *next.get_mut(&(a, b)).expect("incoming arc") -= 1;
             }
         }
-        for (&(a, b), _) in &self.arcs {
+        for &(a, b) in self.arcs.keys() {
             if a == t {
                 *next.get_mut(&(a, b)).expect("outgoing arc") += 1;
             }

@@ -83,8 +83,7 @@ pub fn parse_astg(text: &str) -> Result<Stg, ParseAstgError> {
 
     let err = |line: usize, message: String| ParseAstgError { line, message };
 
-    let mut lines = text.lines().enumerate().peekable();
-    while let Some((idx, raw)) = lines.next() {
+    for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -187,7 +186,7 @@ pub fn parse_astg(text: &str) -> Result<Stg, ParseAstgError> {
             };
             match (src, dst) {
                 (NodeKind::T(a), NodeKind::T(b)) => {
-                    if !implicit.contains_key(&(a, b)) {
+                    implicit.entry((a, b)).or_insert_with(|| {
                         let pname = format!(
                             "<{},{}>",
                             stg.net().transition_name(a),
@@ -196,8 +195,8 @@ pub fn parse_astg(text: &str) -> Result<Stg, ParseAstgError> {
                         let p = stg.net_mut().add_place(pname, 0);
                         stg.net_mut().add_arc_tp(a, p);
                         stg.net_mut().add_arc_pt(p, b);
-                        implicit.insert((a, b), p);
-                    }
+                        p
+                    });
                 }
                 (NodeKind::T(a), NodeKind::P(p)) => stg.net_mut().add_arc_tp(a, p),
                 (NodeKind::P(p), NodeKind::T(b)) => stg.net_mut().add_arc_pt(p, b),

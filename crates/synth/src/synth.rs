@@ -79,10 +79,10 @@ fn synthesize_signal(stg: &Stg, sg: &StateGraph, a: SignalId) -> Result<Gate, Sy
     let mut on: Vec<u64> = Vec::new();
     let mut off: Vec<u64> = Vec::new();
     let mut seen: BTreeMap<u64, bool> = BTreeMap::new();
-    for s in 0..sg.state_count() {
+    for (s, &target) in targets.iter().enumerate() {
         let m = project(sg.code(s));
-        if seen.insert(m, targets[s]).is_none() {
-            if targets[s] {
+        if seen.insert(m, target).is_none() {
+            if target {
                 on.push(m);
             } else {
                 off.push(m);
@@ -115,7 +115,7 @@ fn synthesize_signal(stg: &Stg, sg: &StateGraph, a: SignalId) -> Result<Gate, Sy
 /// agree on the support must agree on the target value.
 fn well_defined(sg: &StateGraph, support: &[SignalId], targets: &[bool]) -> bool {
     let mut table: BTreeMap<u64, bool> = BTreeMap::new();
-    for s in 0..sg.state_count() {
+    for (s, &target) in targets.iter().enumerate() {
         let mut key = 0u64;
         for (i, &sig) in support.iter().enumerate() {
             if sg.value(s, sig) {
@@ -123,10 +123,10 @@ fn well_defined(sg: &StateGraph, support: &[SignalId], targets: &[bool]) -> bool
             }
         }
         match table.get(&key) {
-            Some(&v) if v != targets[s] => return false,
+            Some(&v) if v != target => return false,
             Some(_) => {}
             None => {
-                table.insert(key, targets[s]);
+                table.insert(key, target);
             }
         }
     }

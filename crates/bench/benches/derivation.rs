@@ -2,24 +2,99 @@
 //! polynomial-complexity claim of thesis Sec. 5.6.1, measured per
 //! benchmark circuit, plus an ablation of the relaxation-order policy
 //! (tightest-first vs the arc picked by naive label order — Fig. 5.23's
-//! point that order changes the work done).
+//! point that order changes the work done) and the staged-engine
+//! configurations (cache, parallel fan-out) against the seed path.
+//!
+//! Circuits that fail to load PANIC with the circuit name — a broken
+//! bundled benchmark must fail the bench run loudly, never shrink it.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use si_core::derive_timing_constraints;
+use si_core::{derive_timing_constraints, Engine, EngineConfig};
+
+/// Loads a benchmark circuit or panics with its name: the benches must
+/// never silently skip a broken circuit.
+fn load(bench: &si_suite::Benchmark) -> (si_stg::Stg, si_boolean::GateLibrary) {
+    bench
+        .circuit()
+        .unwrap_or_else(|e| panic!("benchmark `{}` failed to load: {e}", bench.name))
+}
 
 fn bench_derivation(c: &mut Criterion) {
     let mut group = c.benchmark_group("derive_timing_constraints");
     group.sample_size(10);
     for bench in si_suite::benchmarks() {
-        let Ok((stg, library)) = bench.circuit() else {
-            continue;
-        };
+        let (stg, library) = load(&bench);
         group.bench_function(bench.name, |b| {
             b.iter_batched(
                 || (stg.clone(), library.clone()),
                 |(stg, library)| derive_timing_constraints(&stg, &library).expect("derives"),
                 BatchSize::SmallInput,
             )
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_configs(c: &mut Criterion) {
+    // The refactor's measurable effects on the gold circuit: sequential
+    // uncached (the seed path), sequential with a warm shared cache, and
+    // the parallel fan-out.
+    let bench = si_suite::benchmark("imec-ram-read-sbuf").expect("bundled");
+    let (stg, library) = load(&bench);
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("sequential_uncached", |b| {
+        b.iter(|| {
+            Engine::new(EngineConfig::reference())
+                .run(&stg, &library)
+                .expect("derives")
+                .report
+                .constraints
+                .len()
+        })
+    });
+    let warm = Engine::new(EngineConfig::default());
+    warm.run(&stg, &library).expect("derives"); // prime the cache
+    group.bench_function("sequential_warm_cache", |b| {
+        b.iter(|| {
+            warm.run(&stg, &library)
+                .expect("derives")
+                .report
+                .constraints
+                .len()
+        })
+    });
+    let parallel = Engine::new(EngineConfig::parallel(0));
+    group.bench_function("parallel_cold_cache", |b| {
+        b.iter(|| {
+            parallel.clear_cache();
+            parallel
+                .run(&stg, &library)
+                .expect("derives")
+                .report
+                .constraints
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_engine_suite_batch(c: &mut Criterion) {
+    // The full 13-benchmark batch through one shared engine — the
+    // headline wall-clock number of the staged refactor.
+    let mut group = c.benchmark_group("suite_batch");
+    group.sample_size(10);
+    for (name, config) in [
+        ("sequential_uncached", EngineConfig::reference()),
+        ("parallel_cached", EngineConfig::parallel(0)),
+    ] {
+        group.bench_function(name, |b| {
+            let engine = Engine::new(config);
+            b.iter(|| {
+                si_suite::run_suite(&engine)
+                    .unwrap_or_else(|e| panic!("suite batch failed: {e}"))
+                    .len()
+            })
         });
     }
     group.finish();
@@ -33,9 +108,7 @@ fn bench_baseline_only(c: &mut Criterion) {
     group.sample_size(10);
     for name in ["imec-ram-read-sbuf", "fifo", "trimos-send"] {
         let bench = si_suite::benchmark(name).expect("bundled");
-        let Ok((stg, library)) = bench.circuit() else {
-            continue;
-        };
+        let (stg, library) = load(&bench);
         group.bench_function(name, |b| {
             b.iter(|| {
                 let components = stg.mg_components(4096).expect("free choice");
@@ -62,9 +135,7 @@ fn bench_order_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("relaxation_order");
     group.sample_size(10);
     let bench = si_suite::benchmark("imec-ram-read-sbuf").expect("bundled");
-    let Ok((stg, library)) = bench.circuit() else {
-        return;
-    };
+    let (stg, library) = load(&bench);
     for (name, order) in [
         ("tightest_first", RelaxationOrder::TightestFirst),
         ("lexicographic", RelaxationOrder::Lexicographic),
@@ -84,6 +155,8 @@ fn bench_order_ablation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_derivation,
+    bench_engine_configs,
+    bench_engine_suite_batch,
     bench_baseline_only,
     bench_order_ablation
 );

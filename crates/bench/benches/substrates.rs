@@ -32,7 +32,7 @@ fn bench_decomposition(c: &mut Criterion) {
     let stg = si_suite::benchmark("nowick")
         .expect("bundled")
         .stg()
-        .expect("parses");
+        .unwrap_or_else(|e| panic!("benchmark `nowick` failed to load: {e}"));
     c.bench_function("hack_decomposition/nowick", |b| {
         b.iter(|| stg.mg_components(4096).expect("free choice").len())
     });
@@ -59,7 +59,7 @@ fn bench_simulation(c: &mut Criterion) {
     let (stg, library) = si_suite::benchmark("fifo")
         .expect("bundled")
         .circuit()
-        .expect("loads");
+        .unwrap_or_else(|e| panic!("benchmark `fifo` failed to load: {e}"));
     let delays = DelayModel::uniform(40.0, 2.0, 80.0);
     c.bench_function("event_sim/fifo-200-transitions", |b| {
         b.iter(|| {

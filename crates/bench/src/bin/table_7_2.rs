@@ -3,10 +3,18 @@
 //! path conditions), after relaxation, the `≤5`- and `≤3`-level buckets,
 //! the implementation-STG state count and the CPU time; the bottom line is
 //! the total after/before ratio — the paper's headline ≈40 % reduction.
+//!
+//! All rows run through **one shared engine** (parallel per-gate fan-out,
+//! state-graph cache shared across circuits); a footer compares the
+//! engine's wall-clock against the seed's sequential uncached path.
 
-use si_bench::table_row;
+use std::time::Instant;
+
+use si_bench::table_row_with;
+use si_core::{derive_timing_constraints, Engine, EngineConfig};
 
 fn main() {
+    let engine = Engine::new(EngineConfig::parallel(0));
     println!("Table 7.2 — Comparison of the timing constraints");
     println!(
         "{:<20} {:>3} {:>4} {:>5} {:>7} | {:>7} {:>6} | {:>8} {:>7} | {:>8} {:>7} | {:>8}",
@@ -25,8 +33,9 @@ fn main() {
     );
     let (mut tb, mut ta) = (0usize, 0usize);
     let (mut t5b, mut t5a, mut t3b, mut t3a) = (0usize, 0usize, 0usize, 0usize);
+    let engine_started = Instant::now();
     for bench in si_suite::benchmarks() {
-        match table_row(&bench) {
+        match table_row_with(&engine, &bench) {
             Ok((row, _)) => {
                 tb += row.before;
                 ta += row.after;
@@ -58,4 +67,40 @@ fn main() {
         pct(t3a, t3b),
     );
     println!("Thesis totals for reference: 63.9% (all), 60.0% (<=5), 57.5% (<=3)");
+
+    let engine_wall = engine_started.elapsed();
+    let cache = engine.cache_stats();
+    println!();
+    let jobs = match engine.config().jobs {
+        0 => format!(
+            "auto ({})",
+            std::thread::available_parallelism().map_or(1, usize::from)
+        ),
+        n => n.to_string(),
+    };
+    println!(
+        "Engine: {jobs} jobs, SG cache {} hits / {} misses ({:.0}% hit rate, {} entries)",
+        cache.hits,
+        cache.misses,
+        100.0 * cache.hit_ratio(),
+        cache.entries,
+    );
+
+    // The before/after comparison of the refactor: the same thirteen
+    // derivations through the seed's sequential uncached path. A circuit
+    // that fails to load or derive panics with its name — a partial seed
+    // run would make the ratio below apples-to-oranges.
+    let seed_started = Instant::now();
+    for bench in si_suite::benchmarks() {
+        let (stg, library) = bench
+            .circuit()
+            .unwrap_or_else(|e| panic!("benchmark `{}` failed to load: {e}", bench.name));
+        derive_timing_constraints(&stg, &library)
+            .unwrap_or_else(|e| panic!("benchmark `{}` failed to derive: {e}", bench.name));
+    }
+    let seed_wall = seed_started.elapsed();
+    println!(
+        "Suite wall-clock: engine {engine_wall:.2?} vs seed sequential {seed_wall:.2?} ({:.2}x)",
+        seed_wall.as_secs_f64() / engine_wall.as_secs_f64().max(1e-9),
+    );
 }

@@ -3,7 +3,7 @@
 //! figure of the paper's evaluation chapter; see `EXPERIMENTS.md` at the
 //! workspace root for paper-vs-measured notes.
 
-use si_core::{derive_timing_constraints, AdversaryOracle, Constraint, ConstraintReport};
+use si_core::{AdversaryOracle, Constraint, ConstraintReport, Engine, EngineConfig};
 use si_stg::Stg;
 use std::collections::BTreeSet;
 
@@ -32,16 +32,34 @@ pub struct TableRow {
     pub cpu: f64,
 }
 
-/// Runs the full derivation for one benchmark and classifies constraint
-/// levels (Table 7.2 columns).
+/// Runs the full derivation for one benchmark through a fresh sequential
+/// [`Engine`] and classifies constraint levels (Table 7.2 columns).
 ///
 /// # Errors
 ///
 /// Propagates derivation errors as strings (harness-level reporting).
 pub fn table_row(bench: &si_suite::Benchmark) -> Result<(TableRow, ConstraintReport), String> {
-    let (stg, library) = bench.circuit().map_err(|e| e.to_string())?;
+    table_row_with(&Engine::new(EngineConfig::default()), bench)
+}
+
+/// [`table_row`] through a caller-supplied engine: batch drivers share one
+/// engine (one cache, one job pool) across all thirteen rows.
+///
+/// # Errors
+///
+/// Propagates derivation errors as strings (harness-level reporting).
+pub fn table_row_with(
+    engine: &Engine,
+    bench: &si_suite::Benchmark,
+) -> Result<(TableRow, ConstraintReport), String> {
+    let (stg, library) = bench
+        .circuit_with_budget(engine.config().global_sg_budget)
+        .map_err(|e| e.to_string())?;
     let started = std::time::Instant::now();
-    let report = derive_timing_constraints(&stg, &library).map_err(|e| e.to_string())?;
+    let report = engine
+        .run(&stg, &library)
+        .map_err(|e| e.to_string())?
+        .report;
     let cpu = started.elapsed().as_secs_f64();
     let oracle = AdversaryOracle::new(&stg);
 
@@ -100,6 +118,19 @@ mod tests {
     }
 
     #[test]
+    fn shared_engine_row_matches_fresh_engine_row() {
+        let bench = si_suite::benchmark("imec-ram-read-sbuf").expect("bundled");
+        let engine = Engine::new(EngineConfig::parallel(2));
+        let (row, report) = table_row_with(&engine, &bench).expect("derives");
+        let (fresh_row, fresh_report) = table_row(&bench).expect("derives");
+        assert_eq!(report, fresh_report);
+        assert_eq!(
+            (row.before, row.after, row.states),
+            (fresh_row.before, fresh_row.after, fresh_row.states)
+        );
+    }
+
+    #[test]
     fn level_buckets_are_nested() {
         for bench in si_suite::benchmarks() {
             let (row, _) = table_row(&bench).expect("derives");
@@ -118,7 +149,7 @@ mod tests {
     fn strong_constraints_exist_for_the_fifo() {
         let bench = si_suite::benchmark("fifo").expect("bundled");
         let (stg, library) = bench.circuit().expect("loads");
-        let report = derive_timing_constraints(&stg, &library).expect("derives");
+        let report = si_core::derive_timing_constraints(&stg, &library).expect("derives");
         let gates = strong_constraint_gates(&stg, &report);
         assert!(!gates.is_empty());
         assert!(gates.iter().all(|&g| g >= 1));

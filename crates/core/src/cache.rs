@@ -1,0 +1,217 @@
+//! Structural-hash memoization of state-graph generation.
+//!
+//! The relaxation loop rebuilds local state graphs after every arc edit,
+//! and the same `MgStg` structure recurs across the conformance pre-check,
+//! the relaxation trials, the case-2 arc modification, OR-causality
+//! sub-STG vetting and conformance re-checks — and across repeated runs of
+//! the same circuit. [`SgCache`] memoizes [`StateGraph::of_mg`] keyed on
+//! the canonical [`SgKey`] of the input, so any structurally identical MG
+//! (regardless of signal names or restriction flags) is generated once.
+//!
+//! The cache is budget-exact: a hit whose stored graph exceeds the
+//! caller's state budget reports the same budget-exhaustion error an
+//! uncached generation would, so cached and uncached runs are
+//! behaviourally indistinguishable. Errors are never cached. The cache is
+//! `Sync` — one instance is shared across the parallel per-gate fan-out.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use si_stg::{MgStg, SgKey, StateGraph, StgError};
+
+/// Counters of a [`SgCache`], readable at any point of an engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that generated (and stored) a new state graph.
+    pub misses: usize,
+    /// Distinct state graphs currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; `0` when the cache saw no lookups.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe memoization cache for [`StateGraph::of_mg`].
+#[derive(Debug, Default)]
+pub struct SgCache {
+    enabled: bool,
+    map: Mutex<HashMap<SgKey, Arc<StateGraph>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl SgCache {
+    /// A live cache.
+    pub fn new() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// A pass-through cache: every call generates from scratch and stores
+    /// nothing (the seed's uncached behaviour, byte for byte).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether lookups are served from the memo table.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The state graph of `mg`, memoized. The boolean is `true` on a cache
+    /// hit.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`StateGraph::of_mg`] under `budget` —
+    /// including [`si_petri::PetriError::StateBudgetExceeded`] when a
+    /// cached graph (generated under a larger budget) has more states than
+    /// `budget` allows, which is precisely when an uncached generation
+    /// would have failed.
+    pub fn of_mg(&self, mg: &MgStg, budget: usize) -> Result<(Arc<StateGraph>, bool), StgError> {
+        if !self.enabled {
+            return Ok((Arc::new(StateGraph::of_mg(mg, budget)?), false));
+        }
+        let key = mg.sg_key();
+        if let Some(sg) = self.map.lock().expect("sg cache poisoned").get(&key) {
+            // `of_mg` fails iff the reachable state count exceeds the
+            // budget; replay that outcome for smaller budgets.
+            if sg.state_count() > budget {
+                return Err(StgError::Petri(si_petri::PetriError::StateBudgetExceeded {
+                    budget,
+                }));
+            }
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(sg), true));
+        }
+        // Generate outside the lock: concurrent gates may race on the same
+        // key, in which case the last insert wins — both values are
+        // identical, so either Arc is valid.
+        let sg = Arc::new(StateGraph::of_mg(mg, budget)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .lock()
+            .expect("sg cache poisoned")
+            .insert(key, Arc::clone(&sg));
+        Ok((sg, false))
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("sg cache poisoned").len(),
+        }
+    }
+
+    /// Drops all stored graphs and resets the counters.
+    pub fn clear(&self) {
+        self.map.lock().expect("sg cache poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_stg::parse_astg;
+
+    fn handshake_mg() -> MgStg {
+        let stg = parse_astg(
+            "\
+.model handshake
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end
+",
+        )
+        .expect("valid");
+        MgStg::from_stg_mg(&stg).expect("marked graph")
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_graph() {
+        let cache = SgCache::new();
+        let mg = handshake_mg();
+        let (first, hit1) = cache.of_mg(&mg, 100).expect("consistent");
+        let (second, hit2) = cache.of_mg(&mg, 100).expect("consistent");
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn cached_result_equals_uncached() {
+        let cache = SgCache::new();
+        let mg = handshake_mg();
+        let (cached, _) = cache.of_mg(&mg, 100).expect("consistent");
+        let direct = StateGraph::of_mg(&mg, 100).expect("consistent");
+        assert_eq!(*cached, direct);
+    }
+
+    #[test]
+    fn hit_replays_budget_exhaustion_exactly() {
+        let cache = SgCache::new();
+        let mg = handshake_mg(); // 4 states
+        cache.of_mg(&mg, 100).expect("consistent");
+        // A smaller budget that an uncached run would exhaust must fail
+        // identically on the hit path.
+        let uncached = StateGraph::of_mg(&mg, 2).expect_err("budget");
+        let hit = cache.of_mg(&mg, 2).expect_err("budget");
+        assert_eq!(format!("{hit}"), format!("{uncached}"));
+        // A budget the graph fits in succeeds from cache.
+        assert!(cache.of_mg(&mg, 4).expect("fits").1);
+    }
+
+    #[test]
+    fn disabled_cache_stores_nothing() {
+        let cache = SgCache::disabled();
+        let mg = handshake_mg();
+        let (_, hit1) = cache.of_mg(&mg, 100).expect("consistent");
+        let (_, hit2) = cache.of_mg(&mg, 100).expect("consistent");
+        assert!(!hit1 && !hit2);
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn clear_resets_counters_and_entries() {
+        let cache = SgCache::new();
+        let mg = handshake_mg();
+        cache.of_mg(&mg, 100).expect("consistent");
+        cache.of_mg(&mg, 100).expect("consistent");
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+        let (_, hit) = cache.of_mg(&mg, 100).expect("consistent");
+        assert!(!hit);
+    }
+}

@@ -1,0 +1,774 @@
+//! The staged derivation engine.
+//!
+//! [`derive_timing_constraints`](crate::derive_timing_constraints) is the
+//! thesis algorithm as a single monolithic call; this module exposes the
+//! same computation as an explicit pipeline
+//!
+//! ```text
+//! parse → validate → MG decomposition → per-gate local-STG projection
+//!       → relaxation → constraint merge
+//! ```
+//!
+//! with three production-minded additions:
+//!
+//! 1. **[`EngineConfig`]** gathers every budget and policy knob that used
+//!    to be a magic constant scattered across the crates (state-graph
+//!    budgets, iteration budget, OR-causality recursion depth, relaxation
+//!    order, job count, cache switch).
+//! 2. **State-graph memoization** ([`SgCache`]): local state graphs are
+//!    keyed by the canonical [`si_stg::SgKey`] of their `MgStg` and shared
+//!    across the relaxation loop, the OR-causality sub-STG checks, the
+//!    conformance re-checks — and across circuits when one engine serves a
+//!    whole batch.
+//! 3. **Parallel per-gate fan-out**: gates are independent (the same
+//!    independence that per-block timing extraction under process
+//!    variations exploits), so the projection + relaxation of each gate
+//!    runs on a `std::thread::scope` worker pool. Results are merged in
+//!    gate order, so the output is bit-identical to the sequential path —
+//!    constraint sets, per-gate reports, trace, iteration counts and all.
+//!
+//! Per-stage and per-gate metrics (wall time, states explored, cache
+//! traffic) ride along in the extended [`EngineReport`].
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use si_boolean::{parse_eqn, GateLibrary};
+use si_stg::{parse_astg, MgStg, SignalId, StateGraph, Stg};
+
+use crate::cache::{CacheStats, SgCache};
+use crate::check::{classify_states, prerequisite_sets, RelaxationCase};
+use crate::constraint::{Constraint, ConstraintAtom};
+use crate::error::CoreError;
+use crate::expand::{
+    expand_ctx, ExpandCtx, ExpandOutcome, RelaxationOrder, DEFAULT_LOCAL_SG_BUDGET,
+    DEFAULT_MAX_DEPTH,
+};
+use crate::local::{GateContext, LocalStg};
+use crate::paths::AdversaryOracle;
+use crate::report::{ConstraintReport, GateReport};
+
+/// Default per-gate relaxation-iteration budget (convergence is proven;
+/// this guards malformed inputs).
+pub const DEFAULT_EXPAND_BUDGET: usize = 20_000;
+/// Default allocation cap for Hack's MG decomposition.
+pub const DEFAULT_ALLOCATION_CAP: usize = 4096;
+/// Default state budget for whole-STG state graphs (also the validation
+/// and conformance pre-check budget).
+pub const DEFAULT_GLOBAL_SG_BUDGET: usize = 1_000_000;
+
+/// All tunables of the derivation pipeline in one place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// State budget for whole-STG state graphs, STG validation and the
+    /// per-gate conformance pre-check.
+    pub global_sg_budget: usize,
+    /// State budget per local state graph inside the relaxation loop.
+    pub local_sg_budget: usize,
+    /// Relaxation-iteration budget per gate.
+    pub expand_budget: usize,
+    /// Allocation cap for Hack's MG decomposition.
+    pub allocation_cap: usize,
+    /// Maximum OR-causality recursion depth.
+    pub max_depth: usize,
+    /// Arc-picking policy of the relaxation loop.
+    pub order: RelaxationOrder,
+    /// Worker threads for the per-gate fan-out: `1` = sequential in the
+    /// calling thread, `0` = one per available CPU.
+    pub jobs: usize,
+    /// Whether local state graphs are memoized.
+    pub cache: bool,
+}
+
+impl Default for EngineConfig {
+    /// Sequential but cached: identical output to the seed algorithm with
+    /// memoization switched on.
+    fn default() -> Self {
+        Self {
+            global_sg_budget: DEFAULT_GLOBAL_SG_BUDGET,
+            local_sg_budget: DEFAULT_LOCAL_SG_BUDGET,
+            expand_budget: DEFAULT_EXPAND_BUDGET,
+            allocation_cap: DEFAULT_ALLOCATION_CAP,
+            max_depth: DEFAULT_MAX_DEPTH,
+            order: RelaxationOrder::TightestFirst,
+            jobs: 1,
+            cache: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The reference configuration: sequential, uncached — the exact code
+    /// path of the original monolithic driver. Differential tests compare
+    /// every other configuration against this one.
+    pub fn reference() -> Self {
+        Self {
+            cache: false,
+            ..Self::default()
+        }
+    }
+
+    /// A parallel cached configuration; `jobs = 0` sizes the pool to the
+    /// available CPUs.
+    pub fn parallel(jobs: usize) -> Self {
+        Self {
+            jobs,
+            ..Self::default()
+        }
+    }
+
+    /// The same configuration under a different relaxation order.
+    pub fn with_order(self, order: RelaxationOrder) -> Self {
+        Self { order, ..self }
+    }
+
+    /// The effective worker count for `n` gates.
+    fn effective_jobs(&self, n: usize) -> usize {
+        let requested = if self.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.jobs
+        };
+        requested.min(n).max(1)
+    }
+}
+
+/// The pipeline stages, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// `.g`/`.eqn` text to [`Stg`] + [`GateLibrary`] (source entry only).
+    Parse,
+    /// Liveness/safeness/free-choice/consistency of the STG (source entry
+    /// only).
+    Validate,
+    /// Hack's MG decomposition plus the whole-STG state graph.
+    Decompose,
+    /// Per-gate binding, local-STG projection, baseline extraction and the
+    /// conformance pre-check.
+    Project,
+    /// The per-gate relaxation loops (Algorithm 4 fan-out).
+    Relax,
+    /// Union of the per-gate results in deterministic gate order.
+    Merge,
+}
+
+impl Stage {
+    /// Stable lower-case stage name (used by the CLI's JSON output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Validate => "validate",
+            Stage::Decompose => "decompose",
+            Stage::Project => "project",
+            Stage::Relax => "relax",
+            Stage::Merge => "merge",
+        }
+    }
+}
+
+/// Wall time and state-graph traffic of one pipeline stage.
+///
+/// For the fanned-out stages ([`Stage::Project`], [`Stage::Relax`]) `wall`
+/// is the *aggregate* across gates — comparable between job counts; the
+/// elapsed wall-clock of the whole fan-out is [`EngineReport::fanout_wall`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageMetrics {
+    /// Which stage.
+    pub stage: Stage,
+    /// Aggregate wall time spent in the stage.
+    pub wall: Duration,
+    /// States actually generated by state-graph construction (cache misses
+    /// only).
+    pub states_explored: usize,
+    /// Local state graphs answered from the shared cache.
+    pub sg_cache_hits: usize,
+    /// Local state graphs generated from scratch.
+    pub sg_cache_misses: usize,
+}
+
+impl StageMetrics {
+    fn timed(stage: Stage, wall: Duration) -> Self {
+        Self {
+            stage,
+            wall,
+            states_explored: 0,
+            sg_cache_hits: 0,
+            sg_cache_misses: 0,
+        }
+    }
+}
+
+/// Per-gate breakdown of the fan-out stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateMetrics {
+    /// The gate's output signal.
+    pub gate: String,
+    /// Projection + baseline + conformance pre-check time.
+    pub project_wall: Duration,
+    /// Relaxation-loop time.
+    pub relax_wall: Duration,
+    /// Relaxation iterations.
+    pub iterations: usize,
+    /// States generated for this gate (cache misses only).
+    pub states_explored: usize,
+    /// Cache hits while processing this gate.
+    pub sg_cache_hits: usize,
+    /// Cache misses while processing this gate.
+    pub sg_cache_misses: usize,
+}
+
+/// The extended result of an engine run: the classic [`ConstraintReport`]
+/// plus stage, gate and cache metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineReport {
+    /// The derivation result — bit-identical to the sequential monolithic
+    /// driver for every configuration.
+    pub report: ConstraintReport,
+    /// Per-stage metrics in execution order.
+    pub stages: Vec<StageMetrics>,
+    /// Per-gate metrics in gate order.
+    pub gates: Vec<GateMetrics>,
+    /// Cache counters accumulated over the engine's lifetime (shared
+    /// across runs of the same engine).
+    pub cache: CacheStats,
+    /// Worker threads actually used by the fan-out.
+    pub jobs: usize,
+    /// Wall-clock of the whole fan-out (projection + relaxation).
+    pub fanout_wall: Duration,
+    /// Wall-clock of the whole run.
+    pub total_wall: Duration,
+}
+
+impl EngineReport {
+    /// Metrics of one stage, if it ran.
+    pub fn stage(&self, stage: Stage) -> Option<&StageMetrics> {
+        self.stages.iter().find(|s| s.stage == stage)
+    }
+}
+
+/// What one gate's fan-out unit produces.
+struct GateRun {
+    name: String,
+    baseline: BTreeSet<Constraint>,
+    outcome: ExpandOutcome,
+    metrics: GateMetrics,
+    /// SG traffic of the projection phase alone — `(hits, misses,
+    /// states_explored)` — so the stage metrics can attribute the
+    /// conformance pre-check to [`Stage::Project`], not [`Stage::Relax`].
+    project_traffic: (usize, usize, usize),
+}
+
+/// The staged, cacheable, parallelizable derivation pipeline.
+///
+/// An engine owns its [`SgCache`]; running several circuits (or the same
+/// circuit repeatedly) through one engine shares the cache across all of
+/// them.
+///
+/// # Example
+///
+/// ```
+/// use si_core::{Engine, EngineConfig};
+/// use si_boolean::{parse_eqn, GateLibrary};
+/// use si_stg::parse_astg;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stg = parse_astg("\
+/// .model celem
+/// .inputs a b
+/// .outputs c
+/// .graph
+/// a+ c+
+/// b+ c+
+/// c+ a- b-
+/// a- c-
+/// b- c-
+/// c- a+ b+
+/// .marking { <c-,a+> <c-,b+> }
+/// .end
+/// ")?;
+/// let library = GateLibrary::from_netlist(&parse_eqn("c = a*b + a*c + b*c;")?);
+/// let engine = Engine::new(EngineConfig::parallel(2));
+/// let out = engine.run(&stg, &library)?;
+/// assert!(out.report.constraints.is_empty());
+/// assert_eq!(out.report.state_count, 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    cache: SgCache,
+}
+
+impl Default for Engine {
+    /// An engine under [`EngineConfig::default`] — with a live cache, as
+    /// that configuration promises.
+    fn default() -> Self {
+        Self::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// An engine under `config`.
+    pub fn new(config: EngineConfig) -> Self {
+        let cache = if config.cache {
+            SgCache::new()
+        } else {
+            SgCache::disabled()
+        };
+        Self { config, cache }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every memoized state graph.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Runs the pipeline from source text: parse and validate stages, then
+    /// [`Engine::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Parse`] / [`CoreError::NotWellFormed`] from the two
+    /// extra stages, plus everything [`Engine::run`] reports.
+    pub fn run_source(&self, stg_text: &str, eqn_text: &str) -> Result<EngineReport, CoreError> {
+        let started = Instant::now();
+
+        let t = Instant::now();
+        let stg = parse_astg(stg_text).map_err(|e| CoreError::Parse {
+            what: "STG",
+            detail: e.to_string(),
+        })?;
+        let netlist = parse_eqn(eqn_text).map_err(|e| CoreError::Parse {
+            what: "EQN netlist",
+            detail: e.to_string(),
+        })?;
+        let library = GateLibrary::from_netlist(&netlist);
+        let parse_metrics = StageMetrics::timed(Stage::Parse, t.elapsed());
+
+        let t = Instant::now();
+        let health = stg.validate(self.config.global_sg_budget)?;
+        if !health.is_well_formed() {
+            return Err(CoreError::NotWellFormed {
+                name: stg.name.clone(),
+                detail: format!(
+                    "live: {}, safe: {}, free-choice: {}, consistent: {}",
+                    health.live, health.safe, health.free_choice, health.consistent
+                ),
+            });
+        }
+        let validate_metrics = StageMetrics::timed(Stage::Validate, t.elapsed());
+
+        let mut out = self.run(&stg, &library)?;
+        out.stages.splice(0..0, [parse_metrics, validate_metrics]);
+        out.total_wall = started.elapsed();
+        Ok(out)
+    }
+
+    /// Runs the pipeline on a parsed circuit: decompose → project → relax
+    /// → merge.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of
+    /// [`derive_timing_constraints`](crate::derive_timing_constraints):
+    /// [`CoreError::MissingGate`], [`CoreError::NotConformant`],
+    /// decomposition and state-graph failures.
+    pub fn run(&self, stg: &Stg, library: &GateLibrary) -> Result<EngineReport, CoreError> {
+        let started = Instant::now();
+        let cfg = &self.config;
+
+        // Stage: decompose. MG components plus the whole-STG state graph
+        // (the Table 7.2 state-count column).
+        let t = Instant::now();
+        let oracle = AdversaryOracle::new(stg);
+        let components = stg.mg_components(cfg.allocation_cap)?;
+        let state_count = StateGraph::of_stg(stg, cfg.global_sg_budget)?.state_count();
+        let mut decompose_metrics = StageMetrics::timed(Stage::Decompose, t.elapsed());
+        decompose_metrics.states_explored = state_count;
+
+        // One fan-out unit per gate signal; binding happens inside the
+        // unit so that, as in the sequential driver, the error of the
+        // lowest-indexed failing gate wins regardless of failure kind
+        // (missing gate vs non-conformance vs budget).
+        let gate_jobs: Vec<(SignalId, String)> = stg
+            .gate_signals()
+            .into_iter()
+            .map(|a| (a, stg.signal_name(a).to_string()))
+            .collect();
+
+        // Stages: project + relax, fanned out per gate.
+        let fanout_started = Instant::now();
+        let jobs = cfg.effective_jobs(gate_jobs.len());
+        let runs = self.run_gates(stg, library, &gate_jobs, &components, &oracle, jobs)?;
+        let fanout_wall = fanout_started.elapsed();
+
+        // Stage: merge, in gate order — bit-identical to the sequential
+        // driver's accumulation.
+        let t = Instant::now();
+        let mut baseline: BTreeSet<Constraint> = BTreeSet::new();
+        let mut constraints: BTreeSet<Constraint> = BTreeSet::new();
+        let mut per_gate: Vec<GateReport> = Vec::new();
+        let mut trace = Vec::new();
+        let mut iterations = 0usize;
+        let mut gates = Vec::new();
+        let mut project_metrics = StageMetrics::timed(Stage::Project, Duration::ZERO);
+        let mut relax_metrics = StageMetrics::timed(Stage::Relax, Duration::ZERO);
+        for run in runs {
+            baseline.extend(run.baseline.iter().cloned());
+            constraints.extend(run.outcome.constraints.iter().cloned());
+            iterations += run.outcome.iterations;
+            trace.extend(run.outcome.trace.iter().cloned());
+            per_gate.push(GateReport {
+                gate: run.name,
+                baseline: run.baseline,
+                derived: run.outcome.constraints,
+            });
+            let (project_hits, project_misses, project_states) = run.project_traffic;
+            project_metrics.wall += run.metrics.project_wall;
+            project_metrics.sg_cache_hits += project_hits;
+            project_metrics.sg_cache_misses += project_misses;
+            project_metrics.states_explored += project_states;
+            relax_metrics.wall += run.metrics.relax_wall;
+            relax_metrics.states_explored += run.metrics.states_explored - project_states;
+            relax_metrics.sg_cache_hits += run.metrics.sg_cache_hits - project_hits;
+            relax_metrics.sg_cache_misses += run.metrics.sg_cache_misses - project_misses;
+            gates.push(run.metrics);
+        }
+        let merge_metrics = StageMetrics::timed(Stage::Merge, t.elapsed());
+
+        Ok(EngineReport {
+            report: ConstraintReport {
+                baseline,
+                constraints,
+                per_gate,
+                trace,
+                state_count,
+                iterations,
+            },
+            stages: vec![
+                decompose_metrics,
+                project_metrics,
+                relax_metrics,
+                merge_metrics,
+            ],
+            gates,
+            cache: self.cache.stats(),
+            jobs,
+            fanout_wall,
+            total_wall: started.elapsed(),
+        })
+    }
+
+    /// Executes the per-gate units, sequentially or on a scoped worker
+    /// pool, returning the results in gate order. On failure the error of
+    /// the *lowest-indexed* failing gate is reported, matching the
+    /// sequential path.
+    #[allow(clippy::too_many_arguments)]
+    fn run_gates(
+        &self,
+        stg: &Stg,
+        library: &GateLibrary,
+        gate_jobs: &[(SignalId, String)],
+        components: &[MgStg],
+        oracle: &AdversaryOracle,
+        jobs: usize,
+    ) -> Result<Vec<GateRun>, CoreError> {
+        if jobs <= 1 {
+            return gate_jobs
+                .iter()
+                .map(|job| self.run_gate(stg, library, job, components, oracle))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<GateRun, CoreError>>> =
+            (0..gate_jobs.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= gate_jobs.len() {
+                                return mine;
+                            }
+                            mine.push((
+                                i,
+                                self.run_gate(stg, library, &gate_jobs[i], components, oracle),
+                            ));
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, result) in handle.join().expect("gate worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+        let mut runs = Vec::with_capacity(slots.len());
+        for slot in slots {
+            runs.push(slot.expect("every gate index was claimed")?);
+        }
+        Ok(runs)
+    }
+
+    /// One fan-out unit: bind the gate, project its local STGs from every
+    /// relevant MG component, record the baseline, pre-check conformance,
+    /// then run the relaxation loop.
+    fn run_gate(
+        &self,
+        stg: &Stg,
+        library: &GateLibrary,
+        (a, name): &(SignalId, String),
+        components: &[MgStg],
+        oracle: &AdversaryOracle,
+    ) -> Result<GateRun, CoreError> {
+        let cfg = &self.config;
+        let mut out = ExpandOutcome::default();
+        let mut baseline: BTreeSet<Constraint> = BTreeSet::new();
+        let mut locals: Vec<LocalStg> = Vec::new();
+
+        let project_started = Instant::now();
+        let gate = library.gate(name).ok_or_else(|| CoreError::MissingGate {
+            signal: name.clone(),
+        })?;
+        let ctx = GateContext::bind(gate, stg)?;
+        let ctx = &ctx;
+        for component in components {
+            // Components that do not exercise this gate's output are
+            // skipped (free-choice branches without it).
+            if !component
+                .transitions()
+                .iter()
+                .any(|&t| component.label(t).signal == *a)
+            {
+                continue;
+            }
+            let local = LocalStg::project_from(component, ctx)?;
+            let names = local.mg.signal_names();
+
+            // Record the baseline: every type-4 arc before relaxation.
+            for (src, dst) in local.input_to_input_arcs() {
+                baseline.insert(Constraint {
+                    gate: name.clone(),
+                    before: ConstraintAtom::from_label(local.mg.label(src), &names),
+                    after: ConstraintAtom::from_label(local.mg.label(dst), &names),
+                });
+            }
+
+            // Precondition: the initial local STG must be conformant. The
+            // pre-check shares the engine cache (and the global budget, as
+            // the monolithic driver did).
+            let (sg, hit) = self.cache.of_mg(&local.mg, cfg.global_sg_budget)?;
+            if hit {
+                out.sg_cache_hits += 1;
+            } else {
+                out.sg_cache_misses += 1;
+                out.states_explored += sg.state_count();
+            }
+            let epre = prerequisite_sets(&local);
+            let (case, _) = classify_states(&local, &sg, &epre, None)?;
+            if case != RelaxationCase::Case1 {
+                return Err(CoreError::NotConformant { gate: name.clone() });
+            }
+            locals.push(local);
+        }
+        let project_wall = project_started.elapsed();
+        let project_traffic = (out.sg_cache_hits, out.sg_cache_misses, out.states_explored);
+
+        let relax_started = Instant::now();
+        let ectx = ExpandCtx {
+            oracle,
+            order: cfg.order,
+            iteration_budget: cfg.expand_budget,
+            sg_budget: cfg.local_sg_budget,
+            max_depth: cfg.max_depth,
+            cache: &self.cache,
+        };
+        for local in locals {
+            expand_ctx(local, &ectx, &mut out)?;
+        }
+        let relax_wall = relax_started.elapsed();
+
+        let metrics = GateMetrics {
+            gate: name.clone(),
+            project_wall,
+            relax_wall,
+            iterations: out.iterations,
+            states_explored: out.states_explored,
+            sg_cache_hits: out.sg_cache_hits,
+            sg_cache_misses: out.sg_cache_misses,
+        };
+        Ok(GateRun {
+            name: name.clone(),
+            baseline,
+            outcome: out,
+            metrics,
+            project_traffic,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::derive_timing_constraints;
+
+    const CELEM: &str = "\
+.model celem
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+";
+    const CELEM_EQN: &str = "c = a*b + a*c + b*c;";
+
+    fn celem() -> (Stg, GateLibrary) {
+        let stg = parse_astg(CELEM).expect("valid");
+        let lib = GateLibrary::from_netlist(&parse_eqn(CELEM_EQN).expect("valid"));
+        (stg, lib)
+    }
+
+    #[test]
+    fn engine_matches_monolithic_driver() {
+        let (stg, lib) = celem();
+        let reference = derive_timing_constraints(&stg, &lib).expect("derives");
+        for config in [
+            EngineConfig::reference(),
+            EngineConfig::default(),
+            EngineConfig::parallel(2),
+        ] {
+            let out = Engine::new(config).run(&stg, &lib).expect("derives");
+            assert_eq!(out.report, reference, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn run_source_goes_through_all_six_stages() {
+        let engine = Engine::new(EngineConfig::default());
+        let out = engine.run_source(CELEM, CELEM_EQN).expect("derives");
+        let stages: Vec<Stage> = out.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(
+            stages,
+            vec![
+                Stage::Parse,
+                Stage::Validate,
+                Stage::Decompose,
+                Stage::Project,
+                Stage::Relax,
+                Stage::Merge,
+            ]
+        );
+        assert_eq!(out.stage(Stage::Decompose).expect("ran").states_explored, 8);
+    }
+
+    #[test]
+    fn run_source_reports_parse_and_validation_errors() {
+        let engine = Engine::new(EngineConfig::default());
+        assert!(matches!(
+            engine.run_source(".model broken\n.inputs a\n", "a = b;"),
+            Err(CoreError::Parse { what: "STG", .. })
+        ));
+        assert!(matches!(
+            engine.run_source(CELEM, "c = a*b +;"),
+            Err(CoreError::Parse {
+                what: "EQN netlist",
+                ..
+            })
+        ));
+        // An inconsistent STG parses but fails validation: `a` rises twice
+        // in a row, so rising/falling transitions never alternate.
+        let inconsistent = "\
+.model bad
+.inputs a
+.outputs b
+.graph
+a+ a+/2
+a+/2 b+
+b+ a+
+.marking { <b+,a+> }
+.end
+";
+        assert!(matches!(
+            engine.run_source(inconsistent, "b = a;"),
+            Err(CoreError::NotWellFormed { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_engine_reuses_the_cache_across_runs() {
+        let (stg, lib) = celem();
+        let engine = Engine::new(EngineConfig::default());
+        let cold = engine.run(&stg, &lib).expect("derives");
+        let warm = engine.run(&stg, &lib).expect("derives");
+        assert_eq!(cold.report, warm.report);
+        let warm_relax = warm.stage(Stage::Relax).expect("ran");
+        assert_eq!(
+            warm_relax.sg_cache_misses, 0,
+            "second run must be fully cached: {warm_relax:?}"
+        );
+        assert!(warm.cache.hits > cold.cache.hits);
+    }
+
+    #[test]
+    fn missing_gate_surfaces_from_the_engine() {
+        let stg = parse_astg(CELEM).expect("valid");
+        let lib = GateLibrary::default();
+        assert!(matches!(
+            Engine::new(EngineConfig::parallel(2)).run(&stg, &lib),
+            Err(CoreError::MissingGate { .. })
+        ));
+    }
+
+    #[test]
+    fn lowest_indexed_gate_error_wins_regardless_of_failure_kind() {
+        // Gate `b` (index 0) is non-conformant (`b = a'` inverts the
+        // acknowledged polarity) while gate `c` (index 1) has no library
+        // entry at all. The sequential driver reported gate 0's failure;
+        // every engine configuration must do the same.
+        let stg = parse_astg(
+            "\
+.model two
+.inputs a
+.outputs b c
+.graph
+a+ b+
+b+ c+
+c+ a-
+a- b-
+b- c-
+c- a+
+.marking { <c-,a+> }
+.end
+",
+        )
+        .expect("valid");
+        let lib = GateLibrary::from_netlist(&parse_eqn("b = a';").expect("valid"));
+        for config in [EngineConfig::reference(), EngineConfig::parallel(2)] {
+            match Engine::new(config).run(&stg, &lib) {
+                Err(CoreError::NotConformant { gate }) => assert_eq!(gate, "b", "{config:?}"),
+                other => panic!("{config:?}: expected NotConformant for `b`, got {other:?}"),
+            }
+        }
+    }
+}

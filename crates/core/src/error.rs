@@ -8,6 +8,21 @@ use si_stg::StgError;
 pub enum CoreError {
     /// An STG-level analysis failed.
     Stg(StgError),
+    /// An input artefact failed to parse (engine parse stage).
+    Parse {
+        /// What was being parsed (`"STG"`, `"EQN netlist"`).
+        what: &'static str,
+        /// The underlying parser message.
+        detail: String,
+    },
+    /// The STG parsed but is not well formed: not live, unsafe,
+    /// non-free-choice or inconsistent (engine validate stage).
+    NotWellFormed {
+        /// The STG's model name.
+        name: String,
+        /// Which of the four checks failed.
+        detail: String,
+    },
     /// The netlist has no gate for a non-input signal of the STG.
     MissingGate {
         /// The signal without an implementation.
@@ -54,6 +69,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::Stg(e) => write!(f, "{e}"),
+            CoreError::Parse { what, detail } => write!(f, "cannot parse {what}: {detail}"),
+            CoreError::NotWellFormed { name, detail } => {
+                write!(f, "STG `{name}` is not well formed ({detail})")
+            }
             CoreError::MissingGate { signal } => {
                 write!(f, "no gate implements non-input signal `{signal}`")
             }

@@ -16,9 +16,11 @@
 //! the derived constraint set sufficient in every code path.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use si_stg::{StateGraph, TransitionLabel};
 
+use crate::cache::SgCache;
 use crate::check::{classify_states, conformance, prerequisite_sets, RelaxationCase};
 use crate::constraint::{Constraint, ConstraintAtom};
 use crate::error::CoreError;
@@ -30,10 +32,68 @@ use crate::orcausality::{
 use crate::paths::AdversaryOracle;
 use crate::relax::relax_arc;
 
-/// State-graph generation budget for local STGs.
-const SG_BUDGET: usize = 200_000;
-/// Maximum OR-causality recursion depth.
-const MAX_DEPTH: usize = 32;
+/// Default state-graph generation budget for local STGs
+/// ([`crate::EngineConfig::local_sg_budget`]).
+pub(crate) const DEFAULT_LOCAL_SG_BUDGET: usize = 200_000;
+/// Default maximum OR-causality recursion depth
+/// ([`crate::EngineConfig::max_depth`]).
+pub(crate) const DEFAULT_MAX_DEPTH: usize = 32;
+
+/// Everything one relaxation run needs besides the local STG itself: the
+/// oracle, the engine limits and the shared state-graph cache. One
+/// instance is built per gate by the engine (or by the [`expand`] /
+/// [`expand_with_order`] compatibility wrappers) and threaded through the
+/// whole recursion.
+pub(crate) struct ExpandCtx<'a> {
+    /// Adversary-path oracle of the implementation STG.
+    pub oracle: &'a AdversaryOracle,
+    /// Arc-picking policy.
+    pub order: RelaxationOrder,
+    /// Relaxation-iteration budget for the gate.
+    pub iteration_budget: usize,
+    /// State budget per local state graph.
+    pub sg_budget: usize,
+    /// Maximum OR-causality recursion depth.
+    pub max_depth: usize,
+    /// Shared memoization cache for local state graphs.
+    pub cache: &'a SgCache,
+}
+
+impl<'a> ExpandCtx<'a> {
+    /// A context with the engine-default limits and a private cache.
+    pub fn with_defaults(
+        oracle: &'a AdversaryOracle,
+        order: RelaxationOrder,
+        iteration_budget: usize,
+        cache: &'a SgCache,
+    ) -> Self {
+        Self {
+            oracle,
+            order,
+            iteration_budget,
+            sg_budget: DEFAULT_LOCAL_SG_BUDGET,
+            max_depth: DEFAULT_MAX_DEPTH,
+            cache,
+        }
+    }
+
+    /// Memoized local state-graph generation, recording cache traffic and
+    /// exploration work into `out`.
+    fn sg(
+        &self,
+        mg: &si_stg::MgStg,
+        out: &mut ExpandOutcome,
+    ) -> Result<Arc<StateGraph>, CoreError> {
+        let (sg, hit) = self.cache.of_mg(mg, self.sg_budget)?;
+        if hit {
+            out.sg_cache_hits += 1;
+        } else {
+            out.sg_cache_misses += 1;
+            out.states_explored += sg.state_count();
+        }
+        Ok(sg)
+    }
+}
 
 /// The policy picking which type-4 arc to relax next (thesis Sec. 5.5:
 /// different orders can yield different constraint sets, Fig. 5.23).
@@ -96,6 +156,13 @@ pub struct ExpandOutcome {
     pub trace: Vec<TraceEvent>,
     /// Total relaxation iterations across all (sub-)STGs.
     pub iterations: usize,
+    /// States actually generated (cache misses only) by local state-graph
+    /// construction.
+    pub states_explored: usize,
+    /// Local state graphs answered from the shared cache.
+    pub sg_cache_hits: usize,
+    /// Local state graphs generated from scratch.
+    pub sg_cache_misses: usize,
 }
 
 fn atom(local: &LocalStg, label: TransitionLabel) -> ConstraintAtom {
@@ -161,30 +228,44 @@ pub fn expand(
 ///
 /// Same as [`expand`].
 pub fn expand_with_order(
-    mut local: LocalStg,
+    local: LocalStg,
     oracle: &AdversaryOracle,
     budget: usize,
     order: RelaxationOrder,
     out: &mut ExpandOutcome,
 ) -> Result<(), CoreError> {
-    expand_at(&mut local, oracle, budget, order, out, 0)
+    let cache = SgCache::disabled();
+    let ctx = ExpandCtx::with_defaults(oracle, order, budget, &cache);
+    expand_ctx(local, &ctx, out)
+}
+
+/// Expands one local STG under an explicit engine context — the entry
+/// point the staged [`crate::Engine`] uses, sharing one cache across all
+/// gates.
+pub(crate) fn expand_ctx(
+    mut local: LocalStg,
+    ctx: &ExpandCtx<'_>,
+    out: &mut ExpandOutcome,
+) -> Result<(), CoreError> {
+    expand_at(&mut local, ctx, out, 0)
 }
 
 fn expand_at(
     local: &mut LocalStg,
-    oracle: &AdversaryOracle,
-    budget: usize,
-    order: RelaxationOrder,
+    ctx: &ExpandCtx<'_>,
     out: &mut ExpandOutcome,
     depth: usize,
 ) -> Result<(), CoreError> {
     let gate = gate_name(local);
     loop {
         out.iterations += 1;
-        if out.iterations > budget {
-            return Err(CoreError::IterationBudgetExceeded { gate, budget });
+        if out.iterations > ctx.iteration_budget {
+            return Err(CoreError::IterationBudgetExceeded {
+                gate,
+                budget: ctx.iteration_budget,
+            });
         }
-        let Some((x, y)) = find_next_arc(local, oracle, order) else {
+        let Some((x, y)) = find_next_arc(local, ctx.oracle, ctx.order) else {
             return Ok(());
         };
         let arc_text = format!(
@@ -197,7 +278,7 @@ fn expand_at(
         let epre = prerequisite_sets(local);
         let mut trial = local.clone();
         relax_arc(&mut trial.mg, x, y)?;
-        let sg = StateGraph::of_mg(&trial.mg, SG_BUDGET)?;
+        let sg = ctx.sg(&trial.mg, out)?;
         let (case, report) = classify_states(&trial, &sg, &epre, Some(x))?;
         out.trace.push(TraceEvent::Relaxed {
             gate: gate.clone(),
@@ -226,7 +307,7 @@ fn expand_at(
                 if trial.mg.arc(x, t_out).is_some_and(|a| !a.restriction) {
                     let mut modified = trial.clone();
                     relax_arc(&mut modified.mg, x, t_out)?;
-                    let sg2 = StateGraph::of_mg(&modified.mg, SG_BUDGET)?;
+                    let sg2 = ctx.sg(&modified.mg, out)?;
                     let (case2, _) = classify_states(&modified, &sg2, &epre, Some(x))?;
                     if case2 == RelaxationCase::Case1 {
                         out.trace.push(TraceEvent::MadeConcurrentWithOutput {
@@ -245,7 +326,7 @@ fn expand_at(
                                 gate: gate.clone(),
                                 parts: subs.len(),
                             });
-                            return recurse(subs, local, x, y, oracle, budget, order, out, depth);
+                            return recurse(subs, local, x, y, ctx, out, depth);
                         }
                         None => {
                             out.trace.push(TraceEvent::Fallback {
@@ -285,7 +366,7 @@ fn expand_at(
                             gate: gate.clone(),
                             parts: subs.len(),
                         });
-                        return recurse(subs, local, x, y, oracle, budget, order, out, depth);
+                        return recurse(subs, local, x, y, ctx, out, depth);
                     }
                     None => {
                         out.trace.push(TraceEvent::Fallback {
@@ -302,29 +383,26 @@ fn expand_at(
 
 /// Recurses into sub-STGs; if any sub-STG is itself non-conformant the
 /// whole decomposition is abandoned in favour of the case-4 constraint.
-#[allow(clippy::too_many_arguments)]
 fn recurse(
     subs: Vec<LocalStg>,
     local: &mut LocalStg,
     x: usize,
     y: usize,
-    oracle: &AdversaryOracle,
-    budget: usize,
-    order: RelaxationOrder,
+    ctx: &ExpandCtx<'_>,
     out: &mut ExpandOutcome,
     depth: usize,
 ) -> Result<(), CoreError> {
-    if depth + 1 >= MAX_DEPTH {
+    if depth + 1 >= ctx.max_depth {
         out.trace.push(TraceEvent::Fallback {
             gate: gate_name(local),
             reason: "decomposition depth limit".to_string(),
         });
         emit_constraint(local, x, y, out);
-        return expand_at(local, oracle, budget, order, out, depth);
+        return expand_at(local, ctx, out, depth);
     }
     // Verify conformance of each sub-STG before committing to them.
     for sub in &subs {
-        let sg = StateGraph::of_mg(&sub.mg, SG_BUDGET)?;
+        let sg = ctx.sg(&sub.mg, out)?;
         let rep = conformance(sub, &sg)?;
         if !rep.is_conformant() {
             out.trace.push(TraceEvent::Fallback {
@@ -332,11 +410,11 @@ fn recurse(
                 reason: "non-conformant sub-STG".to_string(),
             });
             emit_constraint(local, x, y, out);
-            return expand_at(local, oracle, budget, order, out, depth);
+            return expand_at(local, ctx, out, depth);
         }
     }
     for mut sub in subs {
-        expand_at(&mut sub, oracle, budget, order, out, depth + 1)?;
+        expand_at(&mut sub, ctx, out, depth + 1)?;
     }
     Ok(())
 }
@@ -546,6 +624,43 @@ y- x+
             err,
             Err(CoreError::IterationBudgetExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn cached_expansion_matches_uncached_bit_for_bit() {
+        let text = "\
+.model and2
+.inputs x y
+.outputs o
+.graph
+x+ y+
+y+ o+
+o+ x-
+x- o-
+o- y-
+y- x+
+.marking { <y-,x+> }
+.end
+";
+        let (local, oracle) = build(text, "o = x*y;", "o");
+        let mut plain = ExpandOutcome::default();
+        expand(local.clone(), &oracle, 1000, &mut plain).expect("expands");
+
+        let cache = SgCache::new();
+        let ctx = ExpandCtx::with_defaults(&oracle, RelaxationOrder::TightestFirst, 1000, &cache);
+        let mut cached = ExpandOutcome::default();
+        expand_ctx(local.clone(), &ctx, &mut cached).expect("expands");
+        assert_eq!(plain.constraints, cached.constraints);
+        assert_eq!(plain.trace, cached.trace);
+        assert_eq!(plain.iterations, cached.iterations);
+
+        // A second run over the same local STG is answered from the cache.
+        let mut warm = ExpandOutcome::default();
+        expand_ctx(local, &ctx, &mut warm).expect("expands");
+        assert_eq!(plain.constraints, warm.constraints);
+        assert!(warm.sg_cache_hits > 0, "warm run should hit: {warm:?}");
+        assert_eq!(warm.sg_cache_misses, 0);
+        assert_eq!(warm.states_explored, 0);
     }
 
     #[test]

@@ -22,6 +22,17 @@
 //! The headline reproduction target: the derived set is ≈ 40 % smaller than
 //! the baseline (thesis Table 7.2).
 //!
+//! Two entry points expose the computation:
+//!
+//! - [`derive_timing_constraints`] — the classic monolithic call
+//!   (sequential, uncached; the differential reference);
+//! - [`Engine`] — the staged pipeline (parse → validate → decompose →
+//!   project → relax → merge) with an explicit [`EngineConfig`],
+//!   state-graph memoization shared across gates and runs ([`SgCache`]),
+//!   a parallel per-gate fan-out, and per-stage/per-gate metrics in the
+//!   extended [`EngineReport`]. Output is bit-identical to the monolithic
+//!   call for every configuration.
+//!
 //! # Example
 //!
 //! ```
@@ -54,8 +65,10 @@
 //! # }
 //! ```
 
+mod cache;
 mod check;
 mod constraint;
+mod engine;
 mod error;
 mod expand;
 mod local;
@@ -65,11 +78,13 @@ mod paths;
 mod relax;
 mod report;
 
+pub use cache::{CacheStats, SgCache};
 pub use check::{
     classify_state, classify_states, conformance, is_pending, prerequisite_sets, ConformanceReport,
     RelaxationCase, StateClass,
 };
 pub use constraint::{Constraint, ConstraintAtom};
+pub use engine::{Engine, EngineConfig, EngineReport, GateMetrics, Stage, StageMetrics};
 pub use error::CoreError;
 pub use expand::{expand, expand_with_order, ExpandOutcome, RelaxationOrder, TraceEvent};
 pub use local::{ArcType, GateContext, LocalStg};

@@ -9,7 +9,8 @@
 //! environment (pass through a primary-input transition) are considered
 //! slow and safe (Sec. 7.1).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Mutex;
 
 use si_stg::{Stg, TransitionLabel};
 
@@ -40,12 +41,31 @@ impl AdversaryPath {
 }
 
 /// Oracle answering adversary-path queries against the implementation STG.
-#[derive(Debug, Clone)]
+///
+/// Queries are memoized: the STG never changes under the oracle, so each
+/// `(x, y)` pair is searched once. The memo is thread-safe — the engine
+/// shares one oracle across the parallel per-gate fan-out.
+#[derive(Debug)]
 pub struct AdversaryOracle {
     labels: Vec<TransitionLabel>,
     is_input: Vec<bool>,
     succs: Vec<Vec<usize>>,
     names: Vec<String>,
+    memo: Mutex<HashMap<(TransitionLabel, TransitionLabel), Option<AdversaryPath>>>,
+}
+
+impl Clone for AdversaryOracle {
+    /// Clones the structure; the memo starts empty (it refills on demand
+    /// and never changes answers).
+    fn clone(&self) -> Self {
+        Self {
+            labels: self.labels.clone(),
+            is_input: self.is_input.clone(),
+            succs: self.succs.clone(),
+            names: self.names.clone(),
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 impl AdversaryOracle {
@@ -73,6 +93,7 @@ impl AdversaryOracle {
             is_input,
             succs,
             names: stg.signal_names(),
+            memo: Mutex::new(HashMap::new()),
         }
     }
 
@@ -95,7 +116,15 @@ impl AdversaryOracle {
     /// The tightest adversary path realizing `x* ⇒ y*`, if any causal path
     /// exists at all.
     pub fn path(&self, x: TransitionLabel, y: TransitionLabel) -> Option<AdversaryPath> {
-        self.search(x, y, false).or_else(|| self.search(x, y, true))
+        if let Some(hit) = self.memo.lock().expect("oracle memo poisoned").get(&(x, y)) {
+            return hit.clone();
+        }
+        let found = self.search(x, y, false).or_else(|| self.search(x, y, true));
+        self.memo
+            .lock()
+            .expect("oracle memo poisoned")
+            .insert((x, y), found.clone());
+        found
     }
 
     /// Sort key used by `find_tightest_arc` (Sec. 5.5): unknown paths sort

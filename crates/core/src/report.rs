@@ -3,26 +3,24 @@
 //! Decomposes the implementation STG into MG components, projects every
 //! gate's local STG, records the baseline (Keller et al.) adversary-path
 //! constraints, runs the relaxation loop, and unions the per-gate results.
+//!
+//! Since the staged-pipeline refactor the heavy lifting lives in
+//! [`crate::Engine`]; the two `derive_timing_constraints*` functions here
+//! are the classic monolithic entry points, pinned to the engine's
+//! sequential, uncached [`crate::EngineConfig::reference`] configuration
+//! (the differential baseline every other configuration is tested
+//! against).
 
 use std::collections::BTreeSet;
 
 use si_boolean::GateLibrary;
-use si_stg::{StateGraph, Stg};
+use si_stg::Stg;
 
-use crate::check::{classify_states, prerequisite_sets, RelaxationCase};
 use crate::constraint::{Constraint, ConstraintAtom};
+use crate::engine::{Engine, EngineConfig};
 use crate::error::CoreError;
-use crate::expand::{expand_with_order, ExpandOutcome, RelaxationOrder, TraceEvent};
-use crate::local::{GateContext, LocalStg};
+use crate::expand::{RelaxationOrder, TraceEvent};
 use crate::paths::AdversaryOracle;
-
-/// Iteration budget per gate (the thesis proves convergence; this guards
-/// against malformed inputs).
-const EXPAND_BUDGET: usize = 20_000;
-/// Allocation cap for Hack's decomposition.
-const ALLOCATION_CAP: usize = 4096;
-/// State budget for the whole-STG state graph.
-const SG_BUDGET: usize = 1_000_000;
 
 /// Per-gate derivation summary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,78 +118,9 @@ pub fn derive_timing_constraints_with_order(
     library: &GateLibrary,
     order: RelaxationOrder,
 ) -> Result<ConstraintReport, CoreError> {
-    let oracle = AdversaryOracle::new(stg);
-    let components = stg.mg_components(ALLOCATION_CAP)?;
-    let state_count = StateGraph::of_stg(stg, SG_BUDGET)?.state_count();
-
-    let mut baseline: BTreeSet<Constraint> = BTreeSet::new();
-    let mut constraints: BTreeSet<Constraint> = BTreeSet::new();
-    let mut per_gate: Vec<GateReport> = Vec::new();
-    let mut trace: Vec<TraceEvent> = Vec::new();
-    let mut iterations = 0usize;
-
-    for a in stg.gate_signals() {
-        let name = stg.signal_name(a).to_string();
-        let gate = library.gate(&name).ok_or_else(|| CoreError::MissingGate {
-            signal: name.clone(),
-        })?;
-        let ctx = GateContext::bind(gate, stg)?;
-
-        let mut gate_baseline: BTreeSet<Constraint> = BTreeSet::new();
-        let mut gate_outcome = ExpandOutcome::default();
-
-        for component in &components {
-            // Components that do not exercise this gate's output are
-            // skipped (free-choice branches without it).
-            if !component
-                .transitions()
-                .iter()
-                .any(|&t| component.label(t).signal == a)
-            {
-                continue;
-            }
-            let local = LocalStg::project_from(component, &ctx)?;
-            let names = local.mg.signal_names();
-
-            // Record the baseline: every type-4 arc before relaxation.
-            for (src, dst) in local.input_to_input_arcs() {
-                gate_baseline.insert(Constraint {
-                    gate: name.clone(),
-                    before: ConstraintAtom::from_label(local.mg.label(src), &names),
-                    after: ConstraintAtom::from_label(local.mg.label(dst), &names),
-                });
-            }
-
-            // Precondition: the initial local STG must be conformant.
-            let sg = StateGraph::of_mg(&local.mg, SG_BUDGET)?;
-            let epre = prerequisite_sets(&local);
-            let (case, _) = classify_states(&local, &sg, &epre, None)?;
-            if case != RelaxationCase::Case1 {
-                return Err(CoreError::NotConformant { gate: name });
-            }
-
-            expand_with_order(local, &oracle, EXPAND_BUDGET, order, &mut gate_outcome)?;
-        }
-
-        baseline.extend(gate_baseline.iter().cloned());
-        constraints.extend(gate_outcome.constraints.iter().cloned());
-        iterations += gate_outcome.iterations;
-        trace.extend(gate_outcome.trace.iter().cloned());
-        per_gate.push(GateReport {
-            gate: name,
-            baseline: gate_baseline,
-            derived: gate_outcome.constraints,
-        });
-    }
-
-    Ok(ConstraintReport {
-        baseline,
-        constraints,
-        per_gate,
-        trace,
-        state_count,
-        iterations,
-    })
+    Engine::new(EngineConfig::reference().with_order(order))
+        .run(stg, library)
+        .map(|out| out.report)
 }
 
 #[cfg(test)]

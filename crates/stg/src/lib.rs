@@ -19,7 +19,7 @@ mod sg;
 mod signal;
 mod stg;
 
-pub use mg::{ArcAttr, MgStg};
+pub use mg::{ArcAttr, MgStg, SgKey};
 pub use parse::{parse_astg, write_astg, ParseAstgError, IMEC_RAM_READ_SBUF_G};
 pub use sg::{SgState, StateGraph};
 pub use signal::{Polarity, SignalId, SignalKind, TransitionLabel};

@@ -24,6 +24,23 @@ pub struct ArcAttr {
     pub restriction: bool,
 }
 
+/// Canonical structural key of an [`MgStg`] for state-graph memoization.
+///
+/// Two `MgStg`s with equal keys generate byte-identical [`crate::StateGraph`]s:
+/// the key captures exactly the inputs of [`crate::StateGraph::of_mg`] —
+/// the initial signal code, the alive transitions with their ids and
+/// labels, and the arc skeleton with token counts. Signal *names* and
+/// restriction flags are deliberately excluded: neither influences
+/// state-graph generation, so excluding them widens cache sharing (e.g. a
+/// sub-STG that only adds `#`-restriction markings hits the parent's
+/// entry).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SgKey {
+    initial_code: u64,
+    transitions: Vec<(usize, TransitionLabel)>,
+    arcs: Vec<(usize, usize, u32)>,
+}
+
 /// A marked-graph STG over transition-level arcs.
 ///
 /// Transition ids are stable across edits (removed transitions are
@@ -104,6 +121,23 @@ impl MgStg {
     /// Global initial state code (bit `i` = initial value of signal `i`).
     pub fn initial_code(&self) -> u64 {
         self.initial_code
+    }
+
+    /// The canonical [`SgKey`] of this MG — the memoization key for
+    /// [`crate::StateGraph::of_mg`]. Deterministic: alive transitions in
+    /// ascending id order, arcs in `BTreeMap` key order.
+    pub fn sg_key(&self) -> SgKey {
+        SgKey {
+            initial_code: self.initial_code,
+            transitions: (0..self.transitions.len())
+                .filter_map(|t| self.transitions[t].map(|l| (t, l)))
+                .collect(),
+            arcs: self
+                .arcs
+                .iter()
+                .map(|(&(a, b), attr)| (a, b, attr.tokens))
+                .collect(),
+        }
     }
 
     /// Overrides the initial state code.
@@ -265,36 +299,59 @@ impl MgStg {
     /// shortcut-place construction. `a == b` asks for the lightest cycle
     /// through `a`.
     pub fn min_token_path(&self, a: usize, b: usize, exclude_direct: bool) -> Option<u32> {
+        self.min_token_path_in(&self.succ_adjacency(), a, b, exclude_direct)
+    }
+
+    /// Successor adjacency indexed by transition id — the Dijkstra helper's
+    /// input, hoisted out of loops that query many paths on one graph (the
+    /// naive whole-map scan per relaxation step made redundancy sweeps over
+    /// big MGs quadratic in practice).
+    fn succ_adjacency(&self) -> Vec<Vec<(usize, u32)>> {
+        let mut succs: Vec<Vec<(usize, u32)>> = vec![Vec::new(); self.transitions.len()];
+        for (&(src, dst), attr) in &self.arcs {
+            succs[src].push((dst, attr.tokens));
+        }
+        succs
+    }
+
+    /// [`MgStg::min_token_path`] over a prebuilt adjacency.
+    fn min_token_path_in(
+        &self,
+        succs: &[Vec<(usize, u32)>],
+        a: usize,
+        b: usize,
+        exclude_direct: bool,
+    ) -> Option<u32> {
         let blocked = exclude_direct.then_some((a, b));
-        let mut dist: BTreeMap<usize, u32> = BTreeMap::new();
+        let mut dist: Vec<Option<u32>> = vec![None; self.transitions.len()];
         let mut heap: BinaryHeap<std::cmp::Reverse<(u32, usize)>> = BinaryHeap::new();
         // Seed with the arcs leaving `a` so that paths are non-empty; `a`
         // itself gets a distance only if reached again through a cycle.
-        for (&(src, dst), attr) in &self.arcs {
-            if src == a && blocked != Some((src, dst)) {
-                let d = attr.tokens;
-                if dist.get(&dst).is_none_or(|&seen| d < seen) {
-                    dist.insert(dst, d);
-                    heap.push(std::cmp::Reverse((d, dst)));
-                }
+        for &(dst, tokens) in &succs[a] {
+            if blocked == Some((a, dst)) {
+                continue;
+            }
+            if dist[dst].is_none_or(|seen| tokens < seen) {
+                dist[dst] = Some(tokens);
+                heap.push(std::cmp::Reverse((tokens, dst)));
             }
         }
         while let Some(std::cmp::Reverse((d, n))) = heap.pop() {
-            if dist.get(&n).is_some_and(|&seen| d > seen) {
+            if dist[n].is_some_and(|seen| d > seen) {
                 continue;
             }
-            for (&(src, dst), attr) in &self.arcs {
-                if src != n || blocked == Some((src, dst)) {
+            for &(dst, tokens) in &succs[n] {
+                if blocked == Some((n, dst)) {
                     continue;
                 }
-                let nd = d + attr.tokens;
-                if dist.get(&dst).is_none_or(|&seen| nd < seen) {
-                    dist.insert(dst, nd);
+                let nd = d + tokens;
+                if dist[dst].is_none_or(|seen| nd < seen) {
+                    dist[dst] = Some(nd);
                     heap.push(std::cmp::Reverse((nd, dst)));
                 }
             }
         }
-        dist.get(&b).copied()
+        dist[b]
     }
 
     /// Whether `a` must fire before `b` in the current cycle: a token-free
@@ -372,8 +429,9 @@ impl MgStg {
     /// token in any reachable marking. For a live MG the bound of place
     /// `(a, b)` is `tokens(a, b) + min-token-path(b → a)`.
     pub fn is_safe(&self) -> bool {
+        let adj = self.succ_adjacency();
         self.arcs.iter().all(|(&(a, b), attr)| {
-            match self.min_token_path(b, a, false) {
+            match self.min_token_path_in(&adj, b, a, false) {
                 Some(back) => attr.tokens + back <= 1,
                 None => attr.tokens <= 1, // no cycle: bound is the initial count
             }
@@ -385,13 +443,19 @@ impl MgStg {
     /// carries no more tokens than the arc itself, or the arc is a marked
     /// self-loop ("loop-only place").
     pub fn is_redundant_arc(&self, src: usize, dst: usize) -> bool {
+        self.is_redundant_arc_in(&self.succ_adjacency(), src, dst)
+    }
+
+    /// [`MgStg::is_redundant_arc`] over a prebuilt adjacency (which must
+    /// mirror the current arc set).
+    fn is_redundant_arc_in(&self, adj: &[Vec<(usize, u32)>], src: usize, dst: usize) -> bool {
         let Some(attr) = self.arc(src, dst) else {
             return false;
         };
         if src == dst {
             return attr.tokens >= 1;
         }
-        match self.min_token_path(src, dst, true) {
+        match self.min_token_path_in(adj, src, dst, true) {
             Some(weight) => weight <= attr.tokens,
             None => false,
         }
@@ -408,10 +472,15 @@ impl MgStg {
                 .filter(|&(_, attr)| !attr.restriction)
                 .map(|(&k, _)| k)
                 .collect();
+            // One adjacency per sweep, patched in place on removal: the
+            // per-candidate Dijkstras dominate projection, so they must not
+            // each rescan the whole arc map.
+            let mut adj = self.succ_adjacency();
             let mut changed = false;
             for (a, b) in candidates {
-                if self.arcs.contains_key(&(a, b)) && self.is_redundant_arc(a, b) {
+                if self.arcs.contains_key(&(a, b)) && self.is_redundant_arc_in(&adj, a, b) {
                     self.remove_arc(a, b);
+                    adj[a].retain(|&(d, _)| d != b);
                     removed.push((a, b));
                     changed = true;
                 }
@@ -469,6 +538,7 @@ impl MgStg {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sg::StateGraph;
     use crate::signal::Polarity;
     use crate::stg::Stg;
 
@@ -653,6 +723,71 @@ mod tests {
         let m1 = mg.fire_in(n["b+"], &m0);
         assert!(mg.enabled_in(n["b-"], &m1));
         assert!(!mg.enabled_in(n["b+"], &m1));
+    }
+
+    #[test]
+    fn sg_key_distinguishes_structurally_different_mgs() {
+        let (mg, n) = sr_latch_local();
+        // A clone is key-identical.
+        assert_eq!(mg.sg_key(), mg.clone().sg_key());
+        // Moving a token changes the key.
+        let mut moved = mg.clone();
+        moved.remove_arc(n["o-"], n["b+"]);
+        moved.insert_arc(n["o-"], n["b+"], 0, false);
+        moved.remove_arc(n["b+"], n["b-"]);
+        moved.insert_arc(n["b+"], n["b-"], 1, false);
+        assert_ne!(mg.sg_key(), moved.sg_key());
+        // Removing an arc changes the key.
+        let mut fewer = mg.clone();
+        fewer.remove_arc(n["b-"], n["a-"]);
+        assert_ne!(mg.sg_key(), fewer.sg_key());
+        // Removing a transition changes the key.
+        let mut dead = mg.clone();
+        dead.remove_transition(n["o+"]);
+        assert_ne!(mg.sg_key(), dead.sg_key());
+        // A different initial code changes the key.
+        let mut flipped = mg.clone();
+        flipped.set_initial_code(mg.initial_code() ^ 1);
+        assert_ne!(mg.sg_key(), flipped.sg_key());
+    }
+
+    #[test]
+    fn sg_key_ignores_restriction_flags() {
+        // Restriction arcs alter relaxation policy, not state-graph
+        // semantics: the key (and thus the SG cache) treats them alike.
+        let (mg, n) = sr_latch_local();
+        let mut restricted = mg.clone();
+        restricted.remove_arc(n["b-"], n["a-"]);
+        restricted.insert_arc(n["b-"], n["a-"], 0, true);
+        assert_eq!(mg.sg_key(), restricted.sg_key());
+    }
+
+    #[test]
+    fn equal_sg_keys_mean_equal_state_graphs() {
+        let stg = crate::parse::parse_astg(
+            "\
+.model handshake
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end
+",
+        )
+        .expect("valid");
+        let mg = MgStg::from_stg_mg(&stg).expect("marked graph");
+        let mut restricted = mg.clone();
+        let (&(a, b), attr) = mg.arcs.iter().next().expect("has arcs");
+        restricted.remove_arc(a, b);
+        restricted.insert_arc(a, b, attr.tokens, true);
+        assert_eq!(mg.sg_key(), restricted.sg_key());
+        let x = StateGraph::of_mg(&mg, 1000).expect("consistent");
+        let y = StateGraph::of_mg(&restricted, 1000).expect("consistent");
+        assert_eq!(x, y);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Batch execution: the whole Table 7.2 corpus through one shared
+//! [`Engine`].
+//!
+//! One engine means one state-graph cache and one configuration for all
+//! thirteen circuits — the memoization carries across benchmarks (the
+//! cache key is structural, so name-different but shape-identical local
+//! STGs share entries), and a single `jobs` knob parallelizes every
+//! circuit's per-gate fan-out.
+
+use std::error::Error;
+use std::fmt;
+
+use si_core::{CoreError, Engine, EngineReport};
+
+use crate::{benchmarks, Benchmark, LoadBenchmarkError};
+
+/// One benchmark's result in a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchEntry {
+    /// Table 7.2 row name.
+    pub name: &'static str,
+    /// The engine's extended report.
+    pub report: EngineReport,
+}
+
+/// Failure of one benchmark inside a batch run.
+#[derive(Debug)]
+pub enum BatchError {
+    /// The circuit failed to load or synthesize.
+    Load(LoadBenchmarkError),
+    /// The derivation failed.
+    Derive {
+        /// The benchmark name.
+        name: &'static str,
+        /// The engine error.
+        source: CoreError,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::Load(e) => write!(f, "{e}"),
+            BatchError::Derive { name, source } => {
+                write!(f, "benchmark `{name}` failed to derive: {source}")
+            }
+        }
+    }
+}
+
+impl Error for BatchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BatchError::Load(e) => Some(e),
+            BatchError::Derive { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Runs one benchmark through `engine` (loading/synthesizing its circuit
+/// under the engine's global state budget).
+///
+/// # Errors
+///
+/// [`BatchError::Load`] or [`BatchError::Derive`].
+pub fn run_benchmark(engine: &Engine, bench: &Benchmark) -> Result<BatchEntry, BatchError> {
+    let (stg, library) = bench
+        .circuit_with_budget(engine.config().global_sg_budget)
+        .map_err(BatchError::Load)?;
+    let report = engine
+        .run(&stg, &library)
+        .map_err(|source| BatchError::Derive {
+            name: bench.name,
+            source,
+        })?;
+    Ok(BatchEntry {
+        name: bench.name,
+        report,
+    })
+}
+
+/// Runs all thirteen Table 7.2 benchmarks through one shared `engine`, in
+/// the table's row order.
+///
+/// # Errors
+///
+/// The first [`BatchError`] in row order.
+///
+/// # Example
+///
+/// ```
+/// use si_core::{Engine, EngineConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = Engine::new(EngineConfig::parallel(2));
+/// let entries = si_suite::run_suite(&engine)?;
+/// assert_eq!(entries.len(), 13);
+/// let imec = entries
+///     .iter()
+///     .find(|e| e.name == "imec-ram-read-sbuf")
+///     .expect("bundled");
+/// assert_eq!(imec.report.report.baseline.len(), 19);
+/// assert_eq!(imec.report.report.constraints.len(), 12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_suite(engine: &Engine) -> Result<Vec<BatchEntry>, BatchError> {
+    benchmarks()
+        .iter()
+        .map(|bench| run_benchmark(engine, bench))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_core::EngineConfig;
+
+    #[test]
+    fn batch_runs_the_fifo_through_a_shared_engine() {
+        let engine = Engine::new(EngineConfig::default());
+        let bench = crate::benchmark("fifo").expect("bundled");
+        let first = run_benchmark(&engine, &bench).expect("derives");
+        let second = run_benchmark(&engine, &bench).expect("derives");
+        assert_eq!(first.report.report, second.report.report);
+        // The second pass reuses the first pass's state graphs.
+        assert!(second.report.cache.hits > first.report.cache.hits);
+    }
+}

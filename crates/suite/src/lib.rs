@@ -34,9 +34,11 @@ use si_boolean::{parse_eqn, GateLibrary};
 use si_stg::{parse_astg, Stg};
 use si_synth::synthesize;
 
+mod batch;
 mod circuits;
 mod extra;
 
+pub use batch::{run_benchmark, run_suite, BatchEntry, BatchError};
 pub use circuits::FIFO_G;
 pub use extra::{extended, FIFO_DOUBLE_G, VME_READ_G};
 
@@ -78,12 +80,27 @@ pub struct Benchmark {
 }
 
 impl Benchmark {
-    /// Parses the STG and produces the gate library (fixed or synthesized).
+    /// Parses the STG and produces the gate library (fixed or synthesized)
+    /// under the default synthesis state budget
+    /// ([`si_core::EngineConfig::global_sg_budget`]'s default).
     ///
     /// # Errors
     ///
     /// Wraps parse/synthesis failures in [`LoadBenchmarkError`].
     pub fn circuit(&self) -> Result<(Stg, GateLibrary), LoadBenchmarkError> {
+        self.circuit_with_budget(si_core::EngineConfig::default().global_sg_budget)
+    }
+
+    /// [`Benchmark::circuit`] under an explicit synthesis state budget —
+    /// batch runs take it from their engine's configuration.
+    ///
+    /// # Errors
+    ///
+    /// Wraps parse/synthesis failures in [`LoadBenchmarkError`].
+    pub fn circuit_with_budget(
+        &self,
+        budget: usize,
+    ) -> Result<(Stg, GateLibrary), LoadBenchmarkError> {
         let wrap = |e: Box<dyn Error + Send + Sync>| LoadBenchmarkError {
             name: self.name,
             source: e,
@@ -93,7 +110,7 @@ impl Benchmark {
             Some(text) => {
                 GateLibrary::from_netlist(&parse_eqn(text).map_err(|e| wrap(Box::new(e)))?)
             }
-            None => synthesize(&stg, 1_000_000).map_err(|e| wrap(Box::new(e)))?,
+            None => synthesize(&stg, budget).map_err(|e| wrap(Box::new(e)))?,
         };
         Ok((stg, library))
     }

@@ -1,23 +1,100 @@
-//! `check_hazard STG.g EQN.eqn` — the thesis tool's command line
-//! (Sec. 7.3.1): reads an STG and a restricted-EQN netlist, prints the
-//! adversary-path constraints of the original specification and the
-//! relaxed constraint set sufficient for correctness, then the running
-//! time.
+//! `check_hazard [OPTIONS] STG.g EQN.eqn` — the thesis tool's command line
+//! (Sec. 7.3.1), now backed by the staged [`si_core::Engine`]: reads an
+//! STG and a restricted-EQN netlist, derives the adversary-path
+//! constraints of the original specification and the relaxed constraint
+//! set sufficient for correctness, and prints them as the thesis text
+//! report or as machine-readable JSON with per-stage/per-gate metrics.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use si_boolean::{parse_eqn, GateLibrary};
-use si_core::derive_timing_constraints;
-use si_stg::parse_astg;
+use si_core::{Engine, EngineConfig, EngineReport, RelaxationOrder};
+
+const USAGE: &str = "\
+usage: check_hazard [OPTIONS] <stg.g> <netlist.eqn>
+
+Derives the relative timing constraints sufficient for the circuit
+(netlist.eqn) to implement its STG (stg.g) hazard-free under the
+intra-operator fork assumption, plus the pre-relaxation baseline.
+
+OPTIONS:
+    -j, --jobs <N>        worker threads for the per-gate fan-out
+                          (default 1 = sequential, 0 = one per CPU)
+    -f, --format <FMT>    output format: text (default) or json
+        --order <ORDER>   relaxation order: tightest (default) or lex
+        --no-cache        disable state-graph memoization
+    -h, --help            print this help and exit
+";
+
+/// Parsed command line.
+struct Args {
+    stg_path: String,
+    eqn_path: String,
+    config: EngineConfig,
+    json: bool,
+}
+
+enum ArgsOutcome {
+    Run(Box<Args>),
+    Help,
+    Error(String),
+}
+
+fn parse_args(argv: &[String]) -> ArgsOutcome {
+    let mut config = EngineConfig::default();
+    let mut json = false;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return ArgsOutcome::Help,
+            "-j" | "--jobs" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => config.jobs = n,
+                _ => return ArgsOutcome::Error("--jobs expects a non-negative integer".into()),
+            },
+            "-f" | "--format" => match it.next().map(String::as_str) {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                _ => return ArgsOutcome::Error("--format expects `text` or `json`".into()),
+            },
+            "--order" => match it.next().map(String::as_str) {
+                Some("tightest") => config.order = RelaxationOrder::TightestFirst,
+                Some("lex") => config.order = RelaxationOrder::Lexicographic,
+                _ => return ArgsOutcome::Error("--order expects `tightest` or `lex`".into()),
+            },
+            "--no-cache" => config.cache = false,
+            flag if flag.starts_with('-') => {
+                return ArgsOutcome::Error(format!("unknown option `{flag}`"))
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    match <[String; 2]>::try_from(positional) {
+        Ok([stg_path, eqn_path]) => ArgsOutcome::Run(Box::new(Args {
+            stg_path,
+            eqn_path,
+            config,
+            json,
+        })),
+        Err(_) => ArgsOutcome::Error("expected exactly two paths: <stg.g> <netlist.eqn>".into()),
+    }
+}
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    if args.len() != 3 {
-        eprintln!("usage: check_hazard <stg.g> <netlist.eqn>");
-        return ExitCode::from(2);
-    }
-    match run(&args[1], &args[2]) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        ArgsOutcome::Run(args) => args,
+        ArgsOutcome::Help => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        ArgsOutcome::Error(message) => {
+            eprintln!("check_hazard: {message}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("check_hazard: {message}");
@@ -26,38 +103,106 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(stg_path: &str, eqn_path: &str) -> Result<(), String> {
-    let stg_text =
-        std::fs::read_to_string(stg_path).map_err(|e| format!("cannot read `{stg_path}`: {e}"))?;
-    let eqn_text =
-        std::fs::read_to_string(eqn_path).map_err(|e| format!("cannot read `{eqn_path}`: {e}"))?;
+fn run(args: &Args) -> Result<(), String> {
+    let stg_text = std::fs::read_to_string(&args.stg_path)
+        .map_err(|e| format!("cannot read `{}`: {e}", args.stg_path))?;
+    let eqn_text = std::fs::read_to_string(&args.eqn_path)
+        .map_err(|e| format!("cannot read `{}`: {e}", args.eqn_path))?;
 
     let started = Instant::now();
-    let stg = parse_astg(&stg_text).map_err(|e| e.to_string())?;
-    let health = stg.validate(1_000_000).map_err(|e| e.to_string())?;
-    if !health.is_well_formed() {
-        return Err(format!(
-            "STG `{}` is not well formed (live: {}, safe: {}, free-choice: {}, consistent: {})",
-            stg.name, health.live, health.safe, health.free_choice, health.consistent
-        ));
-    }
-    let netlist = parse_eqn(&eqn_text).map_err(|e| e.to_string())?;
-    let library = GateLibrary::from_netlist(&netlist);
-    let report = derive_timing_constraints(&stg, &library).map_err(|e| e.to_string())?;
+    let engine = Engine::new(args.config);
+    let out = engine
+        .run_source(&stg_text, &eqn_text)
+        .map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed().as_secs_f64();
 
+    if args.json {
+        println!("{}", render_json(&out, elapsed));
+    } else {
+        print_text(&out, elapsed);
+    }
+    Ok(())
+}
+
+fn print_text(out: &EngineReport, elapsed: f64) {
     println!("The timing constraints in the original specification are:");
-    for c in &report.baseline {
+    for c in &out.report.baseline {
         println!("{c}");
     }
     println!();
     println!("The timing constraints for this circuit to work correctly are:");
-    for c in &report.constraints {
+    for c in &out.report.constraints {
         println!("{c}");
     }
     println!();
-    println!(
-        "The running time for this program is {:.6} seconds",
-        started.elapsed().as_secs_f64()
-    );
-    Ok(())
+    println!("The running time for this program is {elapsed:.6} seconds");
+}
+
+/// Minimal JSON string escaping (the identifiers here are plain ASCII,
+/// but be correct anyway).
+fn json_str(s: &str) -> String {
+    let mut o = String::with_capacity(s.len() + 2);
+    o.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => o.push_str("\\\""),
+            '\\' => o.push_str("\\\\"),
+            '\n' => o.push_str("\\n"),
+            '\r' => o.push_str("\\r"),
+            '\t' => o.push_str("\\t"),
+            c if (c as u32) < 0x20 => o.push_str(&format!("\\u{:04x}", c as u32)),
+            c => o.push(c),
+        }
+    }
+    o.push('"');
+    o
+}
+
+fn json_list<T, F: Fn(&T) -> String>(items: &[T], f: F) -> String {
+    let parts: Vec<String> = items.iter().map(f).collect();
+    format!("[{}]", parts.join(","))
+}
+
+fn render_json(out: &EngineReport, elapsed: f64) -> String {
+    let constraints = |set: &std::collections::BTreeSet<si_core::Constraint>| {
+        let parts: Vec<String> = set.iter().map(|c| json_str(&c.to_string())).collect();
+        format!("[{}]", parts.join(","))
+    };
+    let stages = json_list(&out.stages, |s| {
+        format!(
+            "{{\"stage\":{},\"wall_us\":{},\"states_explored\":{},\"sg_cache_hits\":{},\"sg_cache_misses\":{}}}",
+            json_str(s.stage.name()),
+            s.wall.as_micros(),
+            s.states_explored,
+            s.sg_cache_hits,
+            s.sg_cache_misses,
+        )
+    });
+    let gates = json_list(&out.gates, |g| {
+        format!(
+            "{{\"gate\":{},\"project_us\":{},\"relax_us\":{},\"iterations\":{},\"states_explored\":{},\"sg_cache_hits\":{},\"sg_cache_misses\":{}}}",
+            json_str(&g.gate),
+            g.project_wall.as_micros(),
+            g.relax_wall.as_micros(),
+            g.iterations,
+            g.states_explored,
+            g.sg_cache_hits,
+            g.sg_cache_misses,
+        )
+    });
+    format!(
+        "{{\"baseline\":{},\"constraints\":{},\"state_count\":{},\"iterations\":{},\"jobs\":{},\"stages\":{},\"gates\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{}}},\"fanout_wall_us\":{},\"total_wall_us\":{},\"elapsed_seconds\":{elapsed:.6}}}",
+        constraints(&out.report.baseline),
+        constraints(&out.report.constraints),
+        out.report.state_count,
+        out.report.iterations,
+        out.jobs,
+        stages,
+        gates,
+        out.cache.hits,
+        out.cache.misses,
+        out.cache.entries,
+        out.fanout_wall.as_micros(),
+        out.total_wall.as_micros(),
+    )
 }

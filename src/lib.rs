@@ -18,7 +18,8 @@
 //! - [`synth`]: SG-based complex-gate synthesis (the petrify stand-in);
 //! - [`core`]: the paper's contribution — arc relaxation, the four-case
 //!   hazard criterion, OR-causality decomposition, constraint derivation,
-//!   delay padding;
+//!   delay padding — and the staged [`core::Engine`] pipeline (explicit
+//!   config, state-graph memoization, parallel per-gate fan-out);
 //! - [`sim`]: event-driven timing simulation, technology models,
 //!   error-rate and cycle-time analysis;
 //! - [`suite`]: the thirteen-benchmark corpus of the paper's Table 7.2.
@@ -52,9 +53,10 @@ pub mod prelude {
     pub use si_boolean::{parse_eqn, Cover, Cube, Gate, GateLibrary};
     pub use si_core::{
         derive_timing_constraints, plan_padding, AdversaryOracle, Constraint, ConstraintReport,
-        RelaxationCase,
+        Engine, EngineConfig, EngineReport, RelaxationCase,
     };
     pub use si_sim::{simulate, DelayModel};
     pub use si_stg::{parse_astg, MgStg, Polarity, SignalKind, StateGraph, Stg};
+    pub use si_suite::run_suite;
     pub use si_synth::synthesize;
 }

@@ -52,7 +52,111 @@ fn check_hazard_rejects_bad_usage() {
         .output()
         .expect("binary runs");
     assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&output.stderr).contains("usage"));
+}
+
+#[test]
+fn check_hazard_help_exits_zero() {
+    for flag in ["--help", "-h"] {
+        let output = Command::new(env!("CARGO_BIN_EXE_check_hazard"))
+            .arg(flag)
+            .output()
+            .expect("binary runs");
+        assert!(output.status.success(), "{flag} must exit 0");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(stdout.contains("usage"), "{flag}: {stdout}");
+        assert!(stdout.contains("--jobs"));
+        assert!(stdout.contains("--format"));
+    }
+}
+
+#[test]
+fn check_hazard_rejects_unknown_options() {
+    let output = Command::new(env!("CARGO_BIN_EXE_check_hazard"))
+        .args(["--frobnicate", "a.g", "b.eqn"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--frobnicate"));
+}
+
+#[test]
+fn check_hazard_parallel_json_reports_the_gold_circuit() {
+    let bench = si_redress::suite::benchmark("imec-ram-read-sbuf").expect("bundled");
+    let stg_path = write_temp("imec-json.g", bench.stg_text);
+    let eqn_path = write_temp("imec-json.eqn", bench.eqn_text.expect("verbatim netlist"));
+
+    let output = Command::new(env!("CARGO_BIN_EXE_check_hazard"))
+        .args(["--jobs", "4", "--format", "json"])
+        .arg(&stg_path)
+        .arg(&eqn_path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    // One JSON object with the thesis numbers and the stage metrics.
+    assert!(stdout.trim_start().starts_with('{'), "not JSON: {stdout}");
+    assert!(stdout.contains("\"state_count\":112"));
+    assert!(stdout.contains("\"jobs\":4"));
+    for stage in [
+        "parse",
+        "validate",
+        "decompose",
+        "project",
+        "relax",
+        "merge",
+    ] {
+        assert!(
+            stdout.contains(&format!("\"stage\":\"{stage}\"")),
+            "{stage}"
+        );
+    }
+    assert!(stdout.contains("\"i0: precharged+ < wenin+\""));
+    assert!(stdout.contains("\"csc0: wsldin- < i8-\""));
+    // 19 baseline + 12 derived constraint strings.
+    assert_eq!(stdout.matches(" < ").count(), 31);
+    assert!(stdout.contains("\"cache\":{"));
+
+    let _ = std::fs::remove_file(stg_path);
+    let _ = std::fs::remove_file(eqn_path);
+}
+
+#[test]
+fn check_hazard_text_output_is_identical_across_jobs_and_cache_settings() {
+    let bench = si_redress::suite::benchmark("imec-ram-read-sbuf").expect("bundled");
+    let stg_path = write_temp("imec-jobs.g", bench.stg_text);
+    let eqn_path = write_temp("imec-jobs.eqn", bench.eqn_text.expect("verbatim netlist"));
+
+    let constraint_lines = |args: &[&str]| -> Vec<String> {
+        let output = Command::new(env!("CARGO_BIN_EXE_check_hazard"))
+            .args(args)
+            .arg(&stg_path)
+            .arg(&eqn_path)
+            .output()
+            .expect("binary runs");
+        assert!(
+            output.status.success(),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8_lossy(&output.stdout)
+            .lines()
+            .filter(|l| l.contains(" < "))
+            .map(str::to_string)
+            .collect()
+    };
+    let sequential = constraint_lines(&["--no-cache", "--jobs", "1"]);
+    let parallel = constraint_lines(&["--jobs", "4"]);
+    assert_eq!(sequential.len(), 31);
+    assert_eq!(sequential, parallel);
+
+    let _ = std::fs::remove_file(stg_path);
+    let _ = std::fs::remove_file(eqn_path);
 }
 
 #[test]

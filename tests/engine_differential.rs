@@ -1,0 +1,97 @@
+//! Differential property of the staged engine: for every bundled
+//! benchmark, the parallel + memoized pipeline must produce results
+//! **bit-identical** to the sequential uncached path (the seed's
+//! monolithic driver) — same baseline, same derived constraints, same
+//! per-gate breakdown, same trace, same iteration counts.
+
+use si_redress::core::{Engine, EngineConfig, RelaxationOrder, Stage};
+use si_redress::prelude::*;
+
+#[test]
+fn parallel_memoized_engine_is_bit_identical_to_the_sequential_uncached_path() {
+    // One shared engine for the whole suite: the cache carries across
+    // circuits, which is exactly the configuration that must not leak
+    // state between benchmarks.
+    let engine = Engine::new(EngineConfig::parallel(4));
+    for bench in si_redress::suite::benchmarks() {
+        let (stg, library) = bench.circuit().expect("loads");
+        let reference = derive_timing_constraints(&stg, &library).expect("derives");
+        let staged = engine.run(&stg, &library).expect("derives");
+        assert_eq!(
+            staged.report, reference,
+            "{}: parallel+memoized output diverged from the sequential uncached path",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn batch_entry_point_matches_per_circuit_runs() {
+    let engine = Engine::new(EngineConfig::parallel(2));
+    let entries = si_redress::suite::run_suite(&engine).expect("batch derives");
+    assert_eq!(entries.len(), 13);
+    for entry in &entries {
+        let bench = si_redress::suite::benchmark(entry.name).expect("bundled");
+        let (stg, library) = bench.circuit().expect("loads");
+        let reference = derive_timing_constraints(&stg, &library).expect("derives");
+        assert_eq!(entry.report.report, reference, "{}", entry.name);
+    }
+}
+
+#[test]
+fn memoization_pays_off_within_a_single_suite_pass() {
+    // The refactor's point: local state graphs recur across the
+    // conformance pre-checks, relaxation trials and re-checks. Over the
+    // whole corpus the shared cache must serve a visible share of lookups.
+    let engine = Engine::new(EngineConfig::default());
+    si_redress::suite::run_suite(&engine).expect("batch derives");
+    let stats = engine.cache_stats();
+    assert!(
+        stats.hits > 0,
+        "no cache hits across the whole suite: {stats:?}"
+    );
+    assert!(stats.entries <= stats.misses, "{stats:?}");
+}
+
+#[test]
+fn relaxation_order_is_respected_under_parallel_fanout() {
+    let bench = si_redress::suite::benchmark("imec-ram-read-sbuf").expect("bundled");
+    let (stg, library) = bench.circuit().expect("loads");
+    for order in [
+        RelaxationOrder::TightestFirst,
+        RelaxationOrder::Lexicographic,
+    ] {
+        let reference =
+            si_redress::core::derive_timing_constraints_with_order(&stg, &library, order)
+                .expect("derives");
+        let engine = Engine::new(EngineConfig::parallel(4).with_order(order));
+        let staged = engine.run(&stg, &library).expect("derives");
+        assert_eq!(staged.report, reference, "{order:?}");
+    }
+}
+
+#[test]
+fn engine_report_metrics_are_coherent() {
+    let bench = si_redress::suite::benchmark("imec-ram-read-sbuf").expect("bundled");
+    let (stg, library) = bench.circuit().expect("loads");
+    let engine = Engine::new(EngineConfig::parallel(4));
+    let out = engine.run(&stg, &library).expect("derives");
+    assert_eq!(out.gates.len(), out.report.per_gate.len());
+    // Gate totals split across the project (pre-check) and relax stages.
+    let project = out.stage(Stage::Project).expect("ran");
+    let relax = out.stage(Stage::Relax).expect("ran");
+    let gate_iterations: usize = out.gates.iter().map(|g| g.iterations).sum();
+    assert_eq!(gate_iterations, out.report.iterations);
+    let gate_misses: usize = out.gates.iter().map(|g| g.sg_cache_misses).sum();
+    assert_eq!(gate_misses, project.sg_cache_misses + relax.sg_cache_misses);
+    assert!(
+        project.sg_cache_misses + project.sg_cache_hits > 0,
+        "the conformance pre-check generates SGs in the project stage: {project:?}"
+    );
+    // The decompose stage carries the Table 7.2 state count.
+    assert_eq!(
+        out.stage(Stage::Decompose).expect("ran").states_explored,
+        112
+    );
+    assert!(out.jobs >= 2, "parallel config must fan out: {}", out.jobs);
+}

@@ -1,17 +1,22 @@
 //! Regenerates thesis Fig. 7.5: circuit error rate versus technology node
 //! (90 → 32 nm) on a one-million-gate die, for the unbuffered fork
 //! (`un-buf`) and the fork with one repeater on the direct wire (`buf-1`).
-//! The constraint set is the FIFO's, as in the thesis simulation.
+//! The constraint set is the FIFO's, as in the thesis simulation. The
+//! derivation runs through the shared staged [`Engine`] (like the table
+//! binaries), so it reports per-stage metrics and benefits from the
+//! state-graph/projection caches.
 
-use si_bench::strong_constraint_gates;
-use si_core::derive_timing_constraints;
+use si_bench::{engine_metrics_line, strong_constraint_gates};
+use si_core::{Engine, EngineConfig};
 use si_sim::{circuit_error_rate, ErrorRateConfig, ForkStyle, NODES};
 
 fn main() {
     let bench = si_suite::benchmark("fifo").expect("bundled");
     let (stg, library) = bench.circuit().expect("loads");
-    let report = derive_timing_constraints(&stg, &library).expect("derives");
-    let gates = strong_constraint_gates(&stg, &report);
+    let engine = Engine::new(EngineConfig::parallel(0));
+    let out = engine.run(&stg, &library).expect("derives");
+    let report = &out.report;
+    let gates = strong_constraint_gates(&stg, report);
     println!(
         "Fig. 7.5 — error rate vs technology ({} strong constraints, 1M gates)",
         gates.len()
@@ -37,4 +42,5 @@ fn main() {
     }
     println!("\nExpected shape (thesis): both series rise as the node shrinks;");
     println!("buf-1 lies above un-buf at every node.");
+    println!("{}", engine_metrics_line(&out));
 }

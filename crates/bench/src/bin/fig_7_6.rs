@@ -1,15 +1,19 @@
 //! Regenerates thesis Fig. 7.6: circuit error rate versus die scale
 //! (0.5 M → 4 M gates) at the 90 nm node, `un-buf` and `buf-1` series.
+//! The derivation runs through the shared staged [`Engine`], reporting
+//! per-stage metrics like the table binaries.
 
-use si_bench::strong_constraint_gates;
-use si_core::derive_timing_constraints;
+use si_bench::{engine_metrics_line, strong_constraint_gates};
+use si_core::{Engine, EngineConfig};
 use si_sim::{circuit_error_rate, ErrorRateConfig, ForkStyle, NODES};
 
 fn main() {
     let bench = si_suite::benchmark("fifo").expect("bundled");
     let (stg, library) = bench.circuit().expect("loads");
-    let report = derive_timing_constraints(&stg, &library).expect("derives");
-    let gates = strong_constraint_gates(&stg, &report);
+    let engine = Engine::new(EngineConfig::parallel(0));
+    let out = engine.run(&stg, &library).expect("derives");
+    let report = &out.report;
+    let gates = strong_constraint_gates(&stg, report);
     let tech = NODES[0]; // 90 nm
 
     println!(
@@ -36,4 +40,5 @@ fn main() {
         );
     }
     println!("\nExpected shape (thesis): error rate grows with the gate count.");
+    println!("{}", engine_metrics_line(&out));
 }

@@ -5,14 +5,19 @@
 //! Fig. 7.4). Padding positions come from the Sec. 5.7 greedy planner;
 //! the pad magnitude counters the maximum direct-wire delay at each node.
 
-use si_core::{derive_timing_constraints, plan_padding, AdversaryOracle, PaddingPosition};
+use si_bench::engine_metrics_line;
+use si_core::{plan_padding, AdversaryOracle, Engine, EngineConfig, PaddingPosition};
 use si_sim::{cycle_time, DelayAssignment, NODES};
 use si_stg::MgStg;
 
 fn main() {
     let bench = si_suite::benchmark("fifo").expect("bundled");
     let (stg, library) = bench.circuit().expect("loads");
-    let report = derive_timing_constraints(&stg, &library).expect("derives");
+    // The shared staged engine (like the table binaries): per-stage
+    // metrics plus the state-graph and projection caches.
+    let engine = Engine::new(EngineConfig::parallel(0));
+    let out = engine.run(&stg, &library).expect("derives");
+    let report = &out.report;
     let oracle = AdversaryOracle::new(&stg);
     let plan = plan_padding(&stg, &oracle, &report.constraints, 5);
     let mg = MgStg::from_stg_mg(&stg).expect("the FIFO STG is a marked graph");
@@ -54,4 +59,5 @@ fn main() {
     }
     println!("\nExpected shape (thesis): the repeater penalty dominates the");
     println!("current-starved penalty at every node.");
+    println!("{}", engine_metrics_line(&out));
 }

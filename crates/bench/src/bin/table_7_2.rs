@@ -5,8 +5,10 @@
 //! the total after/before ratio — the paper's headline ≈40 % reduction.
 //!
 //! All rows run through **one shared engine** (parallel per-gate fan-out,
-//! state-graph cache shared across circuits); a footer compares the
-//! engine's wall-clock against the seed's sequential uncached path.
+//! state-graph cache shared across circuits); footers compare the
+//! engine's wall-clock against the seed's sequential uncached path and
+//! the warm-path effect of the incremental + projection-memo layers
+//! against the cache-only configuration.
 
 use std::time::Instant;
 
@@ -87,7 +89,9 @@ fn main() {
     );
 
     // The before/after comparison of the refactor: the same thirteen
-    // derivations through the seed's sequential uncached path. A circuit
+    // rows through the seed's sequential uncached path — including the
+    // constraint-level classification the engine loop pays for, so both
+    // sides measure the same load + derive + classify scope. A circuit
     // that fails to load or derive panics with its name — a partial seed
     // run would make the ratio below apples-to-oranges.
     let seed_started = Instant::now();
@@ -95,12 +99,49 @@ fn main() {
         let (stg, library) = bench
             .circuit()
             .unwrap_or_else(|e| panic!("benchmark `{}` failed to load: {e}", bench.name));
-        derive_timing_constraints(&stg, &library)
+        let report = derive_timing_constraints(&stg, &library)
             .unwrap_or_else(|e| panic!("benchmark `{}` failed to derive: {e}", bench.name));
+        let oracle = si_core::AdversaryOracle::new(&stg);
+        for level in [5u32, 3] {
+            std::hint::black_box(report.constraints_within_level(
+                &report.baseline,
+                &oracle,
+                &stg,
+                level,
+            ));
+            std::hint::black_box(report.constraints_within_level(
+                &report.constraints,
+                &oracle,
+                &stg,
+                level,
+            ));
+        }
     }
     let seed_wall = seed_started.elapsed();
     println!(
         "Suite wall-clock: engine {engine_wall:.2?} vs seed sequential {seed_wall:.2?} ({:.2}x)",
         seed_wall.as_secs_f64() / engine_wall.as_secs_f64().max(1e-9),
+    );
+
+    // The before/after of this PR's reuse layers on the *warm* path: the
+    // PR-2 configuration (structural SG cache only) against the full
+    // stack (incremental regeneration + delta tier + projection memo).
+    // Each engine is primed by one cold suite pass, then timed warm.
+    let warm_suite = |config: EngineConfig| {
+        let engine = Engine::new(config);
+        si_suite::run_suite(&engine).unwrap_or_else(|e| panic!("priming pass failed: {e}"));
+        let started = Instant::now();
+        si_suite::run_suite(&engine).unwrap_or_else(|e| panic!("warm pass failed: {e}"));
+        started.elapsed()
+    };
+    let pr2_warm = warm_suite(EngineConfig {
+        incremental: false,
+        memo_projection: false,
+        ..EngineConfig::default()
+    });
+    let full_warm = warm_suite(EngineConfig::default());
+    println!(
+        "Warm suite: cache-only {pr2_warm:.2?} vs incremental+memoized {full_warm:.2?} ({:.2}x)",
+        pr2_warm.as_secs_f64() / full_warm.as_secs_f64().max(1e-9),
     );
 }

@@ -3,9 +3,39 @@
 //! figure of the paper's evaluation chapter; see `EXPERIMENTS.md` at the
 //! workspace root for paper-vs-measured notes.
 
-use si_core::{AdversaryOracle, Constraint, ConstraintReport, Engine, EngineConfig};
+use si_core::{
+    AdversaryOracle, Constraint, ConstraintReport, Engine, EngineConfig, EngineReport, Stage,
+};
 use si_stg::Stg;
 use std::collections::BTreeSet;
+
+/// One-line per-stage metrics summary of an engine run, shared by the
+/// figure/table binaries so every driver reports the pipeline the same
+/// way (jobs, fan-out wall, projection memo and state-graph cache
+/// traffic, incremental derivations).
+pub fn engine_metrics_line(out: &EngineReport) -> String {
+    let zero = |stage: Stage| {
+        out.stage(stage)
+            .copied()
+            .unwrap_or_else(|| panic!("stage {} missing from report", stage.name()))
+    };
+    let project = zero(Stage::Project);
+    let relax = zero(Stage::Relax);
+    format!(
+        "engine: {} jobs, fan-out {:.2?}; project {:.2?} (memo {}h/{}m), \
+         relax {:.2?} (SG {}h/{}m, {} delta hits, {} incremental)",
+        out.jobs,
+        out.fanout_wall,
+        project.wall,
+        project.proj_memo_hits,
+        project.proj_memo_misses,
+        relax.wall,
+        relax.sg_cache_hits,
+        relax.sg_cache_misses,
+        relax.sg_delta_hits,
+        relax.sg_inc_derived,
+    )
+}
 
 /// A derived row of Table 7.2.
 #[derive(Debug, Clone)]

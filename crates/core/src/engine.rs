@@ -37,7 +37,7 @@ use std::time::{Duration, Instant};
 use si_boolean::{parse_eqn, GateLibrary};
 use si_stg::{parse_astg, MgStg, SignalId, StateGraph, Stg};
 
-use crate::cache::{CacheStats, SgCache};
+use crate::cache::{CacheStats, ProjCache, SgCache};
 use crate::check::{classify_states, prerequisite_sets, RelaxationCase};
 use crate::constraint::{Constraint, ConstraintAtom};
 use crate::error::CoreError;
@@ -79,11 +79,23 @@ pub struct EngineConfig {
     pub jobs: usize,
     /// Whether local state graphs are memoized.
     pub cache: bool,
+    /// Whether each relaxation trial's state graph is derived
+    /// *incrementally* from its predecessor's — re-exploring only the cone
+    /// of states the edited arc can affect — instead of regenerated from
+    /// scratch. Output is bit-identical either way (the incremental path
+    /// replays budget-exhaustion and consistency errors exactly); the knob
+    /// exists as an escape hatch and for A/B measurement.
+    pub incremental: bool,
+    /// Whether per-gate local-STG projections are memoized engine-wide
+    /// (keyed on component structure + output + fan-in), which makes warm
+    /// runs of a circuit skip the projection sweeps entirely.
+    pub memo_projection: bool,
 }
 
 impl Default for EngineConfig {
-    /// Sequential but cached: identical output to the seed algorithm with
-    /// memoization switched on.
+    /// Sequential but cached, incremental and projection-memoized:
+    /// identical output to the seed algorithm with every reuse layer
+    /// switched on.
     fn default() -> Self {
         Self {
             global_sg_budget: DEFAULT_GLOBAL_SG_BUDGET,
@@ -94,17 +106,22 @@ impl Default for EngineConfig {
             order: RelaxationOrder::TightestFirst,
             jobs: 1,
             cache: true,
+            incremental: true,
+            memo_projection: true,
         }
     }
 }
 
 impl EngineConfig {
-    /// The reference configuration: sequential, uncached — the exact code
-    /// path of the original monolithic driver. Differential tests compare
-    /// every other configuration against this one.
+    /// The reference configuration: sequential, uncached, no incremental
+    /// regeneration, no projection memo — the exact code path of the
+    /// original monolithic driver. Differential tests compare every other
+    /// configuration against this one.
     pub fn reference() -> Self {
         Self {
             cache: false,
+            incremental: false,
+            memo_projection: false,
             ..Self::default()
         }
     }
@@ -183,8 +200,18 @@ pub struct StageMetrics {
     pub states_explored: usize,
     /// Local state graphs answered from the shared cache.
     pub sg_cache_hits: usize,
-    /// Local state graphs generated from scratch.
+    /// Local state graphs generated (incrementally or from scratch).
     pub sg_cache_misses: usize,
+    /// Cache hits answered by the delta tier (subset of
+    /// [`StageMetrics::sg_cache_hits`]).
+    pub sg_delta_hits: usize,
+    /// Misses answered by the incremental derivation instead of a scratch
+    /// exploration (subset of [`StageMetrics::sg_cache_misses`]).
+    pub sg_inc_derived: usize,
+    /// Local-STG projections answered from the projection memo.
+    pub proj_memo_hits: usize,
+    /// Local-STG projections computed (and stored) by the stage.
+    pub proj_memo_misses: usize,
 }
 
 impl StageMetrics {
@@ -195,6 +222,10 @@ impl StageMetrics {
             states_explored: 0,
             sg_cache_hits: 0,
             sg_cache_misses: 0,
+            sg_delta_hits: 0,
+            sg_inc_derived: 0,
+            proj_memo_hits: 0,
+            proj_memo_misses: 0,
         }
     }
 }
@@ -216,6 +247,16 @@ pub struct GateMetrics {
     pub sg_cache_hits: usize,
     /// Cache misses while processing this gate.
     pub sg_cache_misses: usize,
+    /// Delta-tier hits while processing this gate (subset of
+    /// [`GateMetrics::sg_cache_hits`]).
+    pub sg_delta_hits: usize,
+    /// Misses served by the incremental derivation (subset of
+    /// [`GateMetrics::sg_cache_misses`]).
+    pub sg_inc_derived: usize,
+    /// Projections answered from the projection memo for this gate.
+    pub proj_memo_hits: usize,
+    /// Projections computed for this gate.
+    pub proj_memo_misses: usize,
 }
 
 /// The extended result of an engine run: the classic [`ConstraintReport`]
@@ -232,6 +273,8 @@ pub struct EngineReport {
     /// Cache counters accumulated over the engine's lifetime (shared
     /// across runs of the same engine).
     pub cache: CacheStats,
+    /// Projection-memo counters accumulated over the engine's lifetime.
+    pub projections: CacheStats,
     /// Worker threads actually used by the fan-out.
     pub jobs: usize,
     /// Wall-clock of the whole fan-out (projection + relaxation).
@@ -299,6 +342,7 @@ struct GateRun {
 pub struct Engine {
     config: EngineConfig,
     cache: SgCache,
+    projections: ProjCache,
 }
 
 impl Default for Engine {
@@ -317,7 +361,16 @@ impl Engine {
         } else {
             SgCache::disabled()
         };
-        Self { config, cache }
+        let projections = if config.memo_projection {
+            ProjCache::new()
+        } else {
+            ProjCache::disabled()
+        };
+        Self {
+            config,
+            cache,
+            projections,
+        }
     }
 
     /// The engine's configuration.
@@ -330,9 +383,15 @@ impl Engine {
         self.cache.stats()
     }
 
-    /// Drops every memoized state graph.
+    /// Current projection-memo counters.
+    pub fn projection_stats(&self) -> CacheStats {
+        self.projections.stats()
+    }
+
+    /// Drops every memoized state graph (both tiers) and projection.
     pub fn clear_cache(&self) {
         self.cache.clear();
+        self.projections.clear();
     }
 
     /// Runs the pipeline from source text: parse and validate stages, then
@@ -440,10 +499,14 @@ impl Engine {
             project_metrics.sg_cache_hits += project_hits;
             project_metrics.sg_cache_misses += project_misses;
             project_metrics.states_explored += project_states;
+            project_metrics.proj_memo_hits += run.metrics.proj_memo_hits;
+            project_metrics.proj_memo_misses += run.metrics.proj_memo_misses;
             relax_metrics.wall += run.metrics.relax_wall;
             relax_metrics.states_explored += run.metrics.states_explored - project_states;
             relax_metrics.sg_cache_hits += run.metrics.sg_cache_hits - project_hits;
             relax_metrics.sg_cache_misses += run.metrics.sg_cache_misses - project_misses;
+            relax_metrics.sg_delta_hits += run.metrics.sg_delta_hits;
+            relax_metrics.sg_inc_derived += run.metrics.sg_inc_derived;
             gates.push(run.metrics);
         }
         let merge_metrics = StageMetrics::timed(Stage::Merge, t.elapsed());
@@ -465,6 +528,7 @@ impl Engine {
             ],
             gates,
             cache: self.cache.stats(),
+            projections: self.projections.stats(),
             jobs,
             fanout_wall,
             total_wall: started.elapsed(),
@@ -539,7 +603,9 @@ impl Engine {
         let cfg = &self.config;
         let mut out = ExpandOutcome::default();
         let mut baseline: BTreeSet<Constraint> = BTreeSet::new();
-        let mut locals: Vec<LocalStg> = Vec::new();
+        let mut locals: Vec<(LocalStg, std::sync::Arc<StateGraph>)> = Vec::new();
+        let mut proj_memo_hits = 0usize;
+        let mut proj_memo_misses = 0usize;
 
         let project_started = Instant::now();
         let gate = library.gate(name).ok_or_else(|| CoreError::MissingGate {
@@ -557,7 +623,19 @@ impl Engine {
             {
                 continue;
             }
-            let local = LocalStg::project_from(component, ctx)?;
+            let (mg, proj_hit) = self
+                .projections
+                .project_on_gate(component, ctx.output, &ctx.fanin)?;
+            if proj_hit {
+                proj_memo_hits += 1;
+            } else {
+                proj_memo_misses += 1;
+            }
+            let local = LocalStg {
+                mg,
+                ctx: ctx.clone(),
+                guaranteed: BTreeSet::new(),
+            };
             let names = local.mg.signal_names();
 
             // Record the baseline: every type-4 arc before relaxation.
@@ -584,7 +662,7 @@ impl Engine {
             if case != RelaxationCase::Case1 {
                 return Err(CoreError::NotConformant { gate: name.clone() });
             }
-            locals.push(local);
+            locals.push((local, sg));
         }
         let project_wall = project_started.elapsed();
         let project_traffic = (out.sg_cache_hits, out.sg_cache_misses, out.states_explored);
@@ -597,9 +675,12 @@ impl Engine {
             sg_budget: cfg.local_sg_budget,
             max_depth: cfg.max_depth,
             cache: &self.cache,
+            incremental: cfg.incremental,
         };
-        for local in locals {
-            expand_ctx(local, &ectx, &mut out)?;
+        for (local, sg) in locals {
+            // The pre-check's graph is the first predecessor: every trial
+            // after it regenerates incrementally.
+            expand_ctx(local, Some(sg), &ectx, &mut out)?;
         }
         let relax_wall = relax_started.elapsed();
 
@@ -611,6 +692,10 @@ impl Engine {
             states_explored: out.states_explored,
             sg_cache_hits: out.sg_cache_hits,
             sg_cache_misses: out.sg_cache_misses,
+            sg_delta_hits: out.sg_delta_hits,
+            sg_inc_derived: out.sg_inc_derived,
+            proj_memo_hits,
+            proj_memo_misses,
         };
         Ok(GateRun {
             name: name.clone(),

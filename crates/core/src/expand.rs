@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use si_stg::{StateGraph, TransitionLabel};
 
-use crate::cache::SgCache;
+use crate::cache::{SgCache, SgSource};
 use crate::check::{classify_states, conformance, prerequisite_sets, RelaxationCase};
 use crate::constraint::{Constraint, ConstraintAtom};
 use crate::error::CoreError;
@@ -57,6 +57,9 @@ pub(crate) struct ExpandCtx<'a> {
     pub max_depth: usize,
     /// Shared memoization cache for local state graphs.
     pub cache: &'a SgCache,
+    /// Whether each trial's state graph is derived incrementally from its
+    /// predecessor's (the delta path) instead of regenerated from scratch.
+    pub incremental: bool,
 }
 
 impl<'a> ExpandCtx<'a> {
@@ -74,6 +77,7 @@ impl<'a> ExpandCtx<'a> {
             sg_budget: DEFAULT_LOCAL_SG_BUDGET,
             max_depth: DEFAULT_MAX_DEPTH,
             cache,
+            incremental: false,
         }
     }
 
@@ -90,6 +94,40 @@ impl<'a> ExpandCtx<'a> {
         } else {
             out.sg_cache_misses += 1;
             out.states_explored += sg.state_count();
+        }
+        Ok(sg)
+    }
+
+    /// State graph of one relaxation trial: derived incrementally from the
+    /// predecessor's graph when the engine enables it (and a predecessor
+    /// is at hand), plain memoized generation otherwise. Output and errors
+    /// are identical either way.
+    fn sg_step(
+        &self,
+        parent: &si_stg::MgStg,
+        parent_sg: Option<&Arc<StateGraph>>,
+        mg: &si_stg::MgStg,
+        out: &mut ExpandOutcome,
+    ) -> Result<Arc<StateGraph>, CoreError> {
+        let Some(psg) = parent_sg.filter(|_| self.incremental) else {
+            return self.sg(mg, out);
+        };
+        let (sg, source) = self.cache.of_mg_from(parent, psg, mg, self.sg_budget)?;
+        match source {
+            SgSource::Structural => out.sg_cache_hits += 1,
+            SgSource::Delta => {
+                out.sg_cache_hits += 1;
+                out.sg_delta_hits += 1;
+            }
+            SgSource::Incremental => {
+                out.sg_cache_misses += 1;
+                out.sg_inc_derived += 1;
+                out.states_explored += sg.state_count();
+            }
+            SgSource::Scratch => {
+                out.sg_cache_misses += 1;
+                out.states_explored += sg.state_count();
+            }
         }
         Ok(sg)
     }
@@ -147,6 +185,30 @@ pub enum TraceEvent {
     },
 }
 
+impl std::fmt::Display for TraceEvent {
+    /// Stable one-line rendering, used by the golden conformance
+    /// snapshots: changing it invalidates every checked-in golden file.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceEvent::Relaxed { gate, arc, case } => {
+                write!(f, "relax [{gate}] {arc}: case {case}")
+            }
+            TraceEvent::MadeConcurrentWithOutput { gate, transition } => {
+                write!(f, "concurrent-with-output [{gate}] {transition}")
+            }
+            TraceEvent::Decomposed { gate, parts } => {
+                write!(f, "decompose [{gate}] into {parts} sub-STGs")
+            }
+            TraceEvent::ConstraintEmitted { constraint } => {
+                write!(f, "constraint {constraint}")
+            }
+            TraceEvent::Fallback { gate, reason } => {
+                write!(f, "fallback [{gate}] {reason}")
+            }
+        }
+    }
+}
+
 /// Accumulated result of expanding one or more local STGs.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExpandOutcome {
@@ -163,6 +225,13 @@ pub struct ExpandOutcome {
     pub sg_cache_hits: usize,
     /// Local state graphs generated from scratch.
     pub sg_cache_misses: usize,
+    /// Cache hits answered by the delta tier specifically (a subset of
+    /// [`ExpandOutcome::sg_cache_hits`]).
+    pub sg_delta_hits: usize,
+    /// Cache misses answered by the incremental derivation instead of a
+    /// scratch exploration (a subset of
+    /// [`ExpandOutcome::sg_cache_misses`]).
+    pub sg_inc_derived: usize,
 }
 
 fn atom(local: &LocalStg, label: TransitionLabel) -> ConstraintAtom {
@@ -236,18 +305,21 @@ pub fn expand_with_order(
 ) -> Result<(), CoreError> {
     let cache = SgCache::disabled();
     let ctx = ExpandCtx::with_defaults(oracle, order, budget, &cache);
-    expand_ctx(local, &ctx, out)
+    expand_ctx(local, None, &ctx, out)
 }
 
 /// Expands one local STG under an explicit engine context — the entry
 /// point the staged [`crate::Engine`] uses, sharing one cache across all
-/// gates.
+/// gates. `prev` is the state graph of `local.mg` if the caller already
+/// generated one (the conformance pre-check does); the incremental path
+/// seeds its first delta derivation from it.
 pub(crate) fn expand_ctx(
     mut local: LocalStg,
+    prev: Option<Arc<StateGraph>>,
     ctx: &ExpandCtx<'_>,
     out: &mut ExpandOutcome,
 ) -> Result<(), CoreError> {
-    expand_at(&mut local, ctx, out, 0)
+    expand_at(&mut local, ctx, out, 0, prev)
 }
 
 fn expand_at(
@@ -255,8 +327,12 @@ fn expand_at(
     ctx: &ExpandCtx<'_>,
     out: &mut ExpandOutcome,
     depth: usize,
+    prev: Option<Arc<StateGraph>>,
 ) -> Result<(), CoreError> {
     let gate = gate_name(local);
+    // The state graph of the current `local.mg`, threaded through the
+    // loop so every trial regenerates incrementally from its predecessor.
+    let mut prev_sg = prev;
     loop {
         out.iterations += 1;
         if out.iterations > ctx.iteration_budget {
@@ -278,7 +354,7 @@ fn expand_at(
         let epre = prerequisite_sets(local);
         let mut trial = local.clone();
         relax_arc(&mut trial.mg, x, y)?;
-        let sg = ctx.sg(&trial.mg, out)?;
+        let sg = ctx.sg_step(&local.mg, prev_sg.as_ref(), &trial.mg, out)?;
         let (case, report) = classify_states(&trial, &sg, &epre, Some(x))?;
         out.trace.push(TraceEvent::Relaxed {
             gate: gate.clone(),
@@ -296,6 +372,7 @@ fn expand_at(
         match case {
             RelaxationCase::Case1 => {
                 *local = trial;
+                prev_sg = Some(sg);
             }
             RelaxationCase::Case4 => {
                 emit_constraint(local, x, y, out);
@@ -307,7 +384,7 @@ fn expand_at(
                 if trial.mg.arc(x, t_out).is_some_and(|a| !a.restriction) {
                     let mut modified = trial.clone();
                     relax_arc(&mut modified.mg, x, t_out)?;
-                    let sg2 = ctx.sg(&modified.mg, out)?;
+                    let sg2 = ctx.sg_step(&trial.mg, Some(&sg), &modified.mg, out)?;
                     let (case2, _) = classify_states(&modified, &sg2, &epre, Some(x))?;
                     if case2 == RelaxationCase::Case1 {
                         out.trace.push(TraceEvent::MadeConcurrentWithOutput {
@@ -315,6 +392,7 @@ fn expand_at(
                             transition: modified.mg.label_string(x),
                         });
                         *local = modified;
+                        prev_sg = Some(sg2);
                         continue;
                     }
                     // OR-causality in case 2: decompose from the modified
@@ -326,7 +404,7 @@ fn expand_at(
                                 gate: gate.clone(),
                                 parts: subs.len(),
                             });
-                            return recurse(subs, local, x, y, ctx, out, depth);
+                            return recurse(subs, local, x, y, ctx, out, depth, prev_sg);
                         }
                         None => {
                             out.trace.push(TraceEvent::Fallback {
@@ -366,7 +444,7 @@ fn expand_at(
                             gate: gate.clone(),
                             parts: subs.len(),
                         });
-                        return recurse(subs, local, x, y, ctx, out, depth);
+                        return recurse(subs, local, x, y, ctx, out, depth, prev_sg);
                     }
                     None => {
                         out.trace.push(TraceEvent::Fallback {
@@ -383,6 +461,9 @@ fn expand_at(
 
 /// Recurses into sub-STGs; if any sub-STG is itself non-conformant the
 /// whole decomposition is abandoned in favour of the case-4 constraint.
+/// `prev` is the state graph of `local.mg`, handed back to the loop when
+/// a fallback resumes it.
+#[allow(clippy::too_many_arguments)]
 fn recurse(
     subs: Vec<LocalStg>,
     local: &mut LocalStg,
@@ -391,6 +472,7 @@ fn recurse(
     ctx: &ExpandCtx<'_>,
     out: &mut ExpandOutcome,
     depth: usize,
+    prev: Option<Arc<StateGraph>>,
 ) -> Result<(), CoreError> {
     if depth + 1 >= ctx.max_depth {
         out.trace.push(TraceEvent::Fallback {
@@ -398,9 +480,11 @@ fn recurse(
             reason: "decomposition depth limit".to_string(),
         });
         emit_constraint(local, x, y, out);
-        return expand_at(local, ctx, out, depth);
+        return expand_at(local, ctx, out, depth, prev);
     }
-    // Verify conformance of each sub-STG before committing to them.
+    // Verify conformance of each sub-STG before committing to them; keep
+    // the graphs so each sub-expansion starts with its predecessor known.
+    let mut sub_sgs = Vec::with_capacity(subs.len());
     for sub in &subs {
         let sg = ctx.sg(&sub.mg, out)?;
         let rep = conformance(sub, &sg)?;
@@ -410,11 +494,12 @@ fn recurse(
                 reason: "non-conformant sub-STG".to_string(),
             });
             emit_constraint(local, x, y, out);
-            return expand_at(local, ctx, out, depth);
+            return expand_at(local, ctx, out, depth, prev);
         }
+        sub_sgs.push(sg);
     }
-    for mut sub in subs {
-        expand_at(&mut sub, ctx, out, depth + 1)?;
+    for (mut sub, sub_sg) in subs.into_iter().zip(sub_sgs) {
+        expand_at(&mut sub, ctx, out, depth + 1, Some(sub_sg))?;
     }
     Ok(())
 }
@@ -649,18 +734,65 @@ y- x+
         let cache = SgCache::new();
         let ctx = ExpandCtx::with_defaults(&oracle, RelaxationOrder::TightestFirst, 1000, &cache);
         let mut cached = ExpandOutcome::default();
-        expand_ctx(local.clone(), &ctx, &mut cached).expect("expands");
+        expand_ctx(local.clone(), None, &ctx, &mut cached).expect("expands");
         assert_eq!(plain.constraints, cached.constraints);
         assert_eq!(plain.trace, cached.trace);
         assert_eq!(plain.iterations, cached.iterations);
 
         // A second run over the same local STG is answered from the cache.
         let mut warm = ExpandOutcome::default();
-        expand_ctx(local, &ctx, &mut warm).expect("expands");
+        expand_ctx(local, None, &ctx, &mut warm).expect("expands");
         assert_eq!(plain.constraints, warm.constraints);
         assert!(warm.sg_cache_hits > 0, "warm run should hit: {warm:?}");
         assert_eq!(warm.sg_cache_misses, 0);
         assert_eq!(warm.states_explored, 0);
+    }
+
+    #[test]
+    fn incremental_expansion_matches_plain_bit_for_bit() {
+        let text = "\
+.model and2
+.inputs x y
+.outputs o
+.graph
+x+ y+
+y+ o+
+o+ x-
+x- o-
+o- y-
+y- x+
+.marking { <y-,x+> }
+.end
+";
+        let (local, oracle) = build(text, "o = x*y;", "o");
+        let mut plain = ExpandOutcome::default();
+        expand(local.clone(), &oracle, 1000, &mut plain).expect("expands");
+
+        let cache = SgCache::new();
+        let mut ctx =
+            ExpandCtx::with_defaults(&oracle, RelaxationOrder::TightestFirst, 1000, &cache);
+        ctx.incremental = true;
+        let (prev, _) = cache.of_mg(&local.mg, ctx.sg_budget).expect("consistent");
+        let mut cold = ExpandOutcome::default();
+        expand_ctx(local.clone(), Some(Arc::clone(&prev)), &ctx, &mut cold).expect("expands");
+        assert_eq!(plain.constraints, cold.constraints);
+        assert_eq!(plain.trace, cold.trace);
+        assert_eq!(plain.iterations, cold.iterations);
+        assert!(
+            cold.sg_inc_derived > 0,
+            "a cold incremental run must derive deltas: {cold:?}"
+        );
+
+        // A warm re-run of the same gate answers the edits from the delta
+        // tier.
+        let mut warm = ExpandOutcome::default();
+        expand_ctx(local, Some(prev), &ctx, &mut warm).expect("expands");
+        assert_eq!(plain.constraints, warm.constraints);
+        assert_eq!(warm.sg_cache_misses, 0);
+        assert!(
+            warm.sg_delta_hits > 0,
+            "a warm incremental run must hit the delta tier: {warm:?}"
+        );
     }
 
     #[test]

@@ -78,7 +78,7 @@ mod paths;
 mod relax;
 mod report;
 
-pub use cache::{CacheStats, SgCache};
+pub use cache::{CacheStats, ProjCache, SgCache, SgSource};
 pub use check::{
     classify_state, classify_states, conformance, is_pending, prerequisite_sets, ConformanceReport,
     RelaxationCase, StateClass,

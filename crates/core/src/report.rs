@@ -81,6 +81,45 @@ impl ConstraintReport {
         }
         s
     }
+
+    /// Renders the full report as a deterministic, diff-friendly snapshot:
+    /// the semantic content of the `check_hazard --format json` payload
+    /// (state count, iteration count, both constraint sets, the per-gate
+    /// verdicts and the relaxation trace with its hazard classifications),
+    /// with every volatile field — wall times, cache counters, job counts
+    /// — excluded. The golden conformance suite pins one snapshot per
+    /// bundled benchmark; any change to this format invalidates those
+    /// files (regenerate with `UPDATE_GOLDEN=1 cargo test --test golden`).
+    pub fn snapshot(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "state_count: {}", self.state_count);
+        let _ = writeln!(s, "iterations: {}", self.iterations);
+        let _ = writeln!(s, "baseline: {}", self.baseline.len());
+        for c in &self.baseline {
+            let _ = writeln!(s, "  {c}");
+        }
+        let _ = writeln!(s, "constraints: {}", self.constraints.len());
+        for c in &self.constraints {
+            let _ = writeln!(s, "  {c}");
+        }
+        for gate in &self.per_gate {
+            let _ = writeln!(s, "gate {}:", gate.gate);
+            let _ = writeln!(s, "  baseline: {}", gate.baseline.len());
+            for c in &gate.baseline {
+                let _ = writeln!(s, "    {c}");
+            }
+            let _ = writeln!(s, "  derived: {}", gate.derived.len());
+            for c in &gate.derived {
+                let _ = writeln!(s, "    {c}");
+            }
+        }
+        let _ = writeln!(s, "trace: {}", self.trace.len());
+        for event in &self.trace {
+            let _ = writeln!(s, "  {event}");
+        }
+        s
+    }
 }
 
 fn atom_label(stg: &Stg, a: &ConstraintAtom) -> Option<si_stg::TransitionLabel> {

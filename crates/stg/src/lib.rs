@@ -8,7 +8,9 @@
 //! format used by petrify-era tools, converts marked-graph components into
 //! the transition-level [`MgStg`] form that the relaxation engine
 //! manipulates, generates binary-coded state graphs ([`StateGraph`]) with
-//! the region machinery of thesis Sec. 3.4, and implements the local-STG
+//! the region machinery of thesis Sec. 3.4 — including the incremental
+//! regeneration ([`StateGraph::of_mg_from`]) that derives a single-arc
+//! edit's successor graph from its predecessor's — and implements the local-STG
 //! projection of Algorithm 1 together with the shortcut-place redundancy
 //! check of Algorithm 3.
 
@@ -19,7 +21,7 @@ mod sg;
 mod signal;
 mod stg;
 
-pub use mg::{ArcAttr, MgStg, SgKey};
+pub use mg::{ArcAttr, ArcDelta, MgStg, SgKey};
 pub use parse::{parse_astg, write_astg, ParseAstgError, IMEC_RAM_READ_SBUF_G};
 pub use sg::{SgState, StateGraph};
 pub use signal::{Polarity, SignalId, SignalKind, TransitionLabel};

@@ -1,10 +1,36 @@
 //! Binary-coded state graphs and the region machinery of thesis Sec. 3.4.
+//!
+//! Besides the scratch generators ([`StateGraph::of_mg`],
+//! [`StateGraph::of_stg`]) this module implements the *incremental*
+//! regeneration used by the relaxation loop: [`StateGraph::of_mg_from`]
+//! derives the successor state graph of a single-arc edit from the
+//! predecessor's graph, re-exploring only the cone of states whose
+//! enabling conditions the edit can affect, while reproducing the scratch
+//! generator's output — including its failures — bit for bit.
 
 use std::collections::HashMap;
 
 use crate::mg::MgStg;
 use crate::signal::{Polarity, SignalId, TransitionLabel};
 use crate::stg::{Stg, StgError};
+
+/// Normalizes a firing-count vector to its canonical representative:
+/// firing counts are only determined up to a constant shift (one full
+/// cycle fires every transition once), so subtract the minimum over the
+/// alive transitions. Entries of dead transitions stay untouched (they
+/// are never fired and remain zero).
+fn normalized(sigma: &[i64], alive: &[usize]) -> Vec<i64> {
+    let min = alive
+        .iter()
+        .map(|&t| sigma[t])
+        .min()
+        .expect("alive set is non-empty");
+    let mut v = sigma.to_vec();
+    for &t in alive {
+        v[t] -= min;
+    }
+    v
+}
 
 /// One state of a [`StateGraph`]: a reachable marking labelled with the
 /// binary signal vector (bit `i` = value of signal `i`).
@@ -111,6 +137,201 @@ impl StateGraph {
             edges,
             labels,
         })
+    }
+
+    /// Derives the state graph of `mg` from the predecessor `parent`'s
+    /// graph, re-exploring only the cone of states affected by the arc
+    /// delta between the two — the incremental regeneration behind each
+    /// relaxation-loop edit.
+    ///
+    /// `parent_sg` must be the graph [`StateGraph::of_mg`] returns for
+    /// `parent` (any budget it fits in). The contract is exact equivalence
+    /// with a scratch run: the returned graph is bit-identical to
+    /// `StateGraph::of_mg(mg, budget)` — same state indexing, same edge
+    /// order — and every failure (consistency violation, budget
+    /// exhaustion) is the error the scratch run would report, raised at
+    /// the same point of the exploration. The returned boolean is `true`
+    /// when the delta-guided path ran; `false` means the inputs were
+    /// ineligible (different alive-transition sets, or an arc skeleton
+    /// that is not weakly connected) and the result came from a scratch
+    /// generation.
+    ///
+    /// The delta-guided path identifies states by *normalized firing-count
+    /// vectors* instead of full markings: in a weakly connected marked
+    /// graph a reachable marking determines the firing counts up to a
+    /// constant shift, so the count vector is a faithful state key shared
+    /// between predecessor and successor. A transition whose incoming arcs
+    /// the delta does not touch is enabled in the successor exactly where
+    /// the predecessor's graph has an edge for it — those verdicts (and
+    /// the successor states they lead to) are copied in O(1) per edge;
+    /// only transitions downstream of the edited arc, and states beyond
+    /// the predecessor's horizon, are recomputed.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`StateGraph::of_mg`] under `budget`.
+    pub fn of_mg_from(
+        parent: &MgStg,
+        parent_sg: &StateGraph,
+        mg: &MgStg,
+        budget: usize,
+    ) -> Result<(Self, bool), StgError> {
+        let alive = mg.transitions();
+        if parent.transitions() != alive || !mg.arcs_weakly_connected() {
+            return Ok((Self::of_mg(mg, budget)?, false));
+        }
+        let nt = alive.last().copied().expect("connected implies non-empty") + 1;
+
+        let mut labels: Vec<Option<TransitionLabel>> = Vec::new();
+        for &t in &alive {
+            while labels.len() <= t {
+                labels.push(None);
+            }
+            labels[t] = Some(mg.label(t));
+        }
+
+        // Transitions whose enabling the delta can affect (their incoming
+        // arcs changed); everything else inherits the parent's verdicts.
+        let delta = parent.arc_delta(mg);
+        let mut changed_dst = vec![false; nt];
+        for t in delta.affected_dsts() {
+            changed_dst[t] = true;
+        }
+        // Incoming arcs of each transition with token counts, for the
+        // firing-count enabling test `tokens + σ(src) − σ(dst) > 0`.
+        let mut preds_of: Vec<Vec<(usize, i64)>> = vec![Vec::new(); nt];
+        for ((a, b), attr) in mg.arcs() {
+            preds_of[b].push((a, i64::from(attr.tokens)));
+        }
+
+        // Recover the parent's firing-count vector per state (BFS over its
+        // edges from the initial state) and index states by the normalized
+        // vector.
+        let pn = parent_sg.states.len();
+        let mut parent_index: HashMap<Vec<i64>, usize> = HashMap::with_capacity(pn);
+        {
+            let mut sig: Vec<Vec<i64>> = vec![Vec::new(); pn];
+            sig[0] = vec![0i64; nt];
+            parent_index.insert(normalized(&sig[0], &alive), 0);
+            let mut stack = vec![0usize];
+            while let Some(p) = stack.pop() {
+                for &(t, j) in &parent_sg.edges[p] {
+                    if sig[j].is_empty() {
+                        let mut s = sig[p].clone();
+                        s[t] += 1;
+                        parent_index.insert(normalized(&s, &alive), j);
+                        sig[j] = s;
+                        stack.push(j);
+                    }
+                }
+            }
+        }
+
+        // The successor exploration, mirroring `of_mg`'s loop exactly:
+        // same LIFO frontier, same ascending transition order, same
+        // consistency and budget checks at the same points.
+        let mut index: HashMap<Vec<i64>, usize> = HashMap::new();
+        let mut sigma: Vec<Vec<i64>> = vec![vec![0i64; nt]];
+        let mut states = vec![SgState {
+            code: mg.initial_code(),
+        }];
+        let mut edges: Vec<Vec<(usize, usize)>> = vec![Vec::new()];
+        let key0 = normalized(&sigma[0], &alive);
+        let mapped0 = parent_index.get(&key0).copied();
+        index.insert(key0, 0);
+        // `mapped[i]` = the parent state sharing child state `i`'s
+        // firing-count class; `child_of_parent` is the inverse.
+        let mut mapped: Vec<Option<usize>> = vec![mapped0];
+        let mut child_of_parent: Vec<Option<usize>> = vec![None; pn];
+        if let Some(p0) = mapped0 {
+            child_of_parent[p0] = Some(0);
+        }
+        let mut frontier = vec![0usize];
+
+        while let Some(i) = frontier.pop() {
+            let code = states[i].code;
+            let at_parent = mapped[i];
+            for &t in &alive {
+                let (enabled, parent_succ) = match at_parent {
+                    Some(p) if !changed_dst[t] => {
+                        match parent_sg.edges[p].iter().find(|&&(u, _)| u == t) {
+                            Some(&(_, pj)) => (true, Some(pj)),
+                            None => (false, None),
+                        }
+                    }
+                    _ => {
+                        let s = &sigma[i];
+                        let enabled = preds_of[t].iter().all(|&(a, tok)| tok + s[a] - s[t] > 0);
+                        (enabled, None)
+                    }
+                };
+                if !enabled {
+                    continue;
+                }
+                let label = mg.label(t);
+                let bit = 1u64 << label.signal.0;
+                let before = code & bit != 0;
+                if before == label.polarity.target_value() {
+                    return Err(StgError::Inconsistent {
+                        signal: mg.signal_name(label.signal).to_string(),
+                    });
+                }
+                let next_code = code ^ bit;
+                let known = parent_succ.and_then(|pj| child_of_parent[pj]);
+                let j = match known {
+                    Some(j) => j,
+                    None => {
+                        let mut s2 = sigma[i].clone();
+                        s2[t] += 1;
+                        let key = normalized(&s2, &alive);
+                        match index.get(&key) {
+                            Some(&j) => {
+                                if let Some(pj) = parent_succ {
+                                    child_of_parent[pj] = Some(j);
+                                }
+                                j
+                            }
+                            None => {
+                                if states.len() >= budget {
+                                    return Err(StgError::Petri(
+                                        si_petri::PetriError::StateBudgetExceeded { budget },
+                                    ));
+                                }
+                                let j = states.len();
+                                let pm = match parent_succ {
+                                    Some(pj) => Some(pj),
+                                    None => parent_index.get(&key).copied(),
+                                };
+                                if let Some(pp) = pm {
+                                    child_of_parent[pp] = Some(j);
+                                }
+                                mapped.push(pm);
+                                index.insert(key, j);
+                                sigma.push(s2);
+                                states.push(SgState { code: next_code });
+                                edges.push(Vec::new());
+                                frontier.push(j);
+                                j
+                            }
+                        }
+                    }
+                };
+                if states[j].code != next_code {
+                    return Err(StgError::Inconsistent {
+                        signal: mg.signal_name(label.signal).to_string(),
+                    });
+                }
+                edges[i].push((t, j));
+            }
+        }
+        Ok((
+            Self {
+                states,
+                edges,
+                labels,
+            },
+            true,
+        ))
     }
 
     /// Generates the state graph of a full (possibly free-choice) STG.
@@ -477,6 +698,126 @@ b- x+
         // Regions partition their aggregate sets.
         let total: usize = ers.iter().map(Vec::len).sum();
         assert_eq!(total, sg.er_states(x, Polarity::Plus).len());
+    }
+
+    /// The chain `x+ → y+ → o+ → x- → y- → o- → x+` of the relaxation
+    /// tests, plus its relaxed successor (the arcs `relax_arc` produces
+    /// for `x+ ⇒ y+`: the direct arc removed, bypasses `o- ⇒ y+` and
+    /// `x+ ⇒ o+` inserted).
+    fn chain_and_relaxed() -> (MgStg, MgStg) {
+        let text = "\
+.model chain
+.inputs x y
+.outputs o
+.graph
+x+ y+
+y+ o+
+o+ x-
+x- y-
+y- o-
+o- x+
+.marking { <o-,x+> }
+.end
+";
+        let stg = parse_astg(text).expect("valid");
+        let parent = MgStg::from_stg_mg(&stg).expect("marked graph");
+        let xp = parent.transition_by_label("x+").expect("present");
+        let yp = parent.transition_by_label("y+").expect("present");
+        let op = parent.transition_by_label("o+").expect("present");
+        let om = parent.transition_by_label("o-").expect("present");
+        let mut child = parent.clone();
+        child.remove_arc(xp, yp);
+        child.insert_arc(om, yp, 1, false);
+        child.insert_arc(xp, op, 0, false);
+        (parent, child)
+    }
+
+    #[test]
+    fn incremental_regeneration_matches_scratch_after_relaxation_edit() {
+        let (parent, child) = chain_and_relaxed();
+        let parent_sg = StateGraph::of_mg(&parent, 1000).expect("consistent");
+        let scratch = StateGraph::of_mg(&child, 1000).expect("consistent");
+        let (inc, delta_path) =
+            StateGraph::of_mg_from(&parent, &parent_sg, &child, 1000).expect("derives");
+        assert!(delta_path, "a relaxation edit must take the delta path");
+        assert_eq!(inc, scratch);
+        assert!(
+            inc.state_count() > parent_sg.state_count(),
+            "relaxation grows the interleaving space: {} vs {}",
+            inc.state_count(),
+            parent_sg.state_count()
+        );
+    }
+
+    #[test]
+    fn incremental_regeneration_matches_scratch_after_token_move() {
+        let (_, mg) = handshake_mg();
+        let parent_sg = StateGraph::of_mg(&mg, 100).expect("consistent");
+        // Advance the cycle by one firing of req+: the token moves from
+        // <ack-, req+> to <req+, ack+> and the initial code flips req.
+        let reqp = mg.transition_by_label("req+").expect("present");
+        let ackp = mg.transition_by_label("ack+").expect("present");
+        let ackm = mg.transition_by_label("ack-").expect("present");
+        let mut child = mg.clone();
+        child.remove_arc(reqp, ackp);
+        child.insert_arc(reqp, ackp, 1, false);
+        child.remove_arc(ackm, reqp);
+        child.insert_arc(ackm, reqp, 0, false);
+        child.set_initial_code(1);
+        let scratch = StateGraph::of_mg(&child, 100).expect("consistent");
+        let (inc, delta_path) =
+            StateGraph::of_mg_from(&mg, &parent_sg, &child, 100).expect("derives");
+        assert!(delta_path);
+        assert_eq!(inc, scratch);
+    }
+
+    #[test]
+    fn incremental_regeneration_replays_failures_exactly() {
+        // Under every budget — including ones neither graph fits in — the
+        // incremental derivation must reproduce the scratch result, Ok or
+        // Err alike.
+        let (parent, child) = chain_and_relaxed();
+        let parent_sg = StateGraph::of_mg(&parent, 1000).expect("consistent");
+        for budget in 1..=10 {
+            let scratch = StateGraph::of_mg(&child, budget);
+            let inc = StateGraph::of_mg_from(&parent, &parent_sg, &child, budget).map(|(sg, _)| sg);
+            assert_eq!(inc, scratch, "budget {budget}");
+        }
+        // An inconsistent edit (removing y+'s only ordering toward o+
+        // leaves o+ racing) must fail identically on both paths.
+        let mut bad = parent.clone();
+        let yp = bad.transition_by_label("y+").expect("present");
+        let op = bad.transition_by_label("o+").expect("present");
+        let om = bad.transition_by_label("o-").expect("present");
+        bad.remove_arc(yp, op);
+        bad.insert_arc(om, op, 1, false);
+        let scratch = StateGraph::of_mg(&bad, 1000);
+        let inc = StateGraph::of_mg_from(&parent, &parent_sg, &bad, 1000).map(|(sg, _)| sg);
+        assert!(scratch.is_err(), "edit must be inconsistent");
+        assert_eq!(inc, scratch);
+    }
+
+    #[test]
+    fn incremental_regeneration_falls_back_on_alive_mismatch() {
+        // Projecting the handshake down to the ack cycle removes both req
+        // transitions: the alive sets differ, so the delta path must
+        // decline and the scratch fallback must still match.
+        let (_, mg) = handshake_mg();
+        let parent_sg = StateGraph::of_mg(&mg, 100).expect("consistent");
+        let reqp = mg.transition_by_label("req+").expect("present");
+        let reqm = mg.transition_by_label("req-").expect("present");
+        let ackp = mg.transition_by_label("ack+").expect("present");
+        let ackm = mg.transition_by_label("ack-").expect("present");
+        let mut child = mg.clone();
+        child.remove_transition(reqp);
+        child.remove_transition(reqm);
+        child.insert_arc(ackp, ackm, 0, false);
+        child.insert_arc(ackm, ackp, 1, false);
+        let scratch = StateGraph::of_mg(&child, 100).expect("consistent");
+        let (inc, delta_path) =
+            StateGraph::of_mg_from(&mg, &parent_sg, &child, 100).expect("derives");
+        assert!(!delta_path, "a removed transition must force the fallback");
+        assert_eq!(inc, scratch);
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Property tests for the incremental state-graph regeneration: on a
+//! random marked graph and a random single-arc edit, the delta-guided
+//! derivation ([`StateGraph::of_mg_from`]) must agree with a from-scratch
+//! regeneration *exactly* — identical states, arcs and edge order on
+//! success, and the identical error under tight budgets or inconsistent
+//! edits. The scratch generator is the pinned reference; any divergence
+//! here is a soundness bug in the delta path.
+
+use proptest::prelude::*;
+use si_stg::{MgStg, Polarity, SignalKind, StateGraph, Stg, TransitionLabel};
+
+/// One randomly generated marked graph: a consistent ring
+/// `s0+ … s(k-1)+ s0- … s(k-1)-` (one token on the closing arc) plus a
+/// handful of random extra arcs that may introduce concurrency, deadlock
+/// or inconsistency — all of which the two derivation paths must report
+/// identically.
+#[derive(Debug, Clone)]
+struct RandomMg {
+    signals: usize,
+    extras: Vec<(usize, usize, u32)>,
+}
+
+impl RandomMg {
+    fn build(&self) -> MgStg {
+        let mut stg = Stg::new("prop");
+        let sigs: Vec<_> = (0..self.signals)
+            .map(|i| stg.add_signal(format!("s{i}"), SignalKind::Input))
+            .collect();
+        let mut mg = MgStg::empty_like(&stg);
+        let mut ring = Vec::new();
+        for &s in &sigs {
+            ring.push(mg.add_transition(TransitionLabel::first(s, Polarity::Plus)));
+        }
+        for &s in &sigs {
+            ring.push(mg.add_transition(TransitionLabel::first(s, Polarity::Minus)));
+        }
+        for w in 0..ring.len() {
+            let next = (w + 1) % ring.len();
+            let tokens = u32::from(next == 0);
+            mg.insert_arc(ring[w], ring[next], tokens, false);
+        }
+        for &(a, b, tokens) in &self.extras {
+            mg.insert_arc(ring[a % ring.len()], ring[b % ring.len()], tokens, false);
+        }
+        mg
+    }
+}
+
+/// A single-arc edit: remove an arc, insert one, or retoken one.
+#[derive(Debug, Clone)]
+enum Edit {
+    Remove(usize),
+    Insert(usize, usize, u32),
+    Retoken(usize, u32),
+}
+
+impl Edit {
+    /// Applies the edit to a clone of `mg` (indices wrap over the current
+    /// arc list / transition list, so every drawn edit is applicable).
+    fn apply(&self, mg: &MgStg) -> MgStg {
+        let mut out = mg.clone();
+        let arcs: Vec<(usize, usize)> = mg.arcs().map(|(k, _)| k).collect();
+        let ts = mg.transitions();
+        match *self {
+            Edit::Remove(i) => {
+                let (a, b) = arcs[i % arcs.len()];
+                out.remove_arc(a, b);
+            }
+            Edit::Insert(a, b, tokens) => {
+                out.insert_arc(ts[a % ts.len()], ts[b % ts.len()], tokens, false);
+            }
+            Edit::Retoken(i, tokens) => {
+                let (a, b) = arcs[i % arcs.len()];
+                out.remove_arc(a, b);
+                out.insert_arc(a, b, tokens, false);
+            }
+        }
+        out
+    }
+}
+
+fn random_case() -> impl Strategy<Value = (RandomMg, Edit)> {
+    let mg = (
+        2usize..=5,
+        proptest::collection::vec((0usize..10, 0usize..10, 0u32..=1), 0..4),
+    )
+        .prop_map(|(signals, extras)| RandomMg { signals, extras });
+    let edit =
+        (0u8..3, 0usize..32, 0usize..32, 0u32..=2).prop_map(|(kind, a, b, tokens)| match kind {
+            0 => Edit::Remove(a),
+            1 => Edit::Insert(a, b, tokens),
+            _ => Edit::Retoken(a, tokens),
+        });
+    (mg, edit)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn incremental_matches_scratch_under_a_generous_budget((spec, edit) in random_case()) {
+        let parent = spec.build();
+        let Ok(parent_sg) = StateGraph::of_mg(&parent, 10_000) else {
+            return Ok(()); // no predecessor graph to regenerate from
+        };
+        let child = edit.apply(&parent);
+        let scratch = StateGraph::of_mg(&child, 10_000);
+        let incremental =
+            StateGraph::of_mg_from(&parent, &parent_sg, &child, 10_000).map(|(sg, _)| sg);
+        prop_assert_eq!(incremental, scratch);
+    }
+
+    #[test]
+    fn incremental_replays_tight_budget_failures_exactly((spec, edit) in random_case()) {
+        let parent = spec.build();
+        let Ok(parent_sg) = StateGraph::of_mg(&parent, 10_000) else {
+            return Ok(());
+        };
+        let child = edit.apply(&parent);
+        for budget in [1usize, 2, 3, 5, 9, 17] {
+            let scratch = StateGraph::of_mg(&child, budget);
+            let incremental =
+                StateGraph::of_mg_from(&parent, &parent_sg, &child, budget).map(|(sg, _)| sg);
+            prop_assert_eq!(incremental, scratch);
+        }
+    }
+
+    #[test]
+    fn arc_delta_reconstructs_the_edited_arc_set((spec, edit) in random_case()) {
+        let parent = spec.build();
+        let child = edit.apply(&parent);
+        let delta = parent.arc_delta(&child);
+        // Replaying the delta over the parent's arc set must yield the
+        // child's arc set (token counts; restriction flags are out of
+        // scope by design, matching `SgKey`).
+        let mut arcs: std::collections::BTreeMap<(usize, usize), u32> = parent
+            .arcs()
+            .map(|((a, b), attr)| ((a, b), attr.tokens))
+            .collect();
+        for &(a, b, before, after) in &delta.changes {
+            prop_assert_eq!(arcs.get(&(a, b)).copied(), before);
+            match after {
+                Some(tokens) => {
+                    arcs.insert((a, b), tokens);
+                }
+                None => {
+                    arcs.remove(&(a, b));
+                }
+            }
+        }
+        let child_arcs: std::collections::BTreeMap<(usize, usize), u32> = child
+            .arcs()
+            .map(|((a, b), attr)| ((a, b), attr.tokens))
+            .collect();
+        prop_assert_eq!(arcs, child_arcs);
+        // Every changed arc's enabling effect lands on its destination.
+        let dsts = delta.affected_dsts();
+        for &(_, b, _, _) in &delta.changes {
+            prop_assert!(dsts.contains(&b));
+        }
+    }
+}

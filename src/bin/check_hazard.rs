@@ -12,24 +12,39 @@ use si_core::{Engine, EngineConfig, EngineReport, RelaxationOrder};
 
 const USAGE: &str = "\
 usage: check_hazard [OPTIONS] <stg.g> <netlist.eqn>
+       check_hazard [OPTIONS] --bench <NAME>
 
 Derives the relative timing constraints sufficient for the circuit
 (netlist.eqn) to implement its STG (stg.g) hazard-free under the
 intra-operator fork assumption, plus the pre-relaxation baseline.
 
 OPTIONS:
+        --bench <NAME>    run a bundled Table 7.2 benchmark by name
+                          (synthesizing its netlist when the thesis gives
+                          none) instead of reading the two files
     -j, --jobs <N>        worker threads for the per-gate fan-out
                           (default 1 = sequential, 0 = one per CPU)
     -f, --format <FMT>    output format: text (default) or json
         --order <ORDER>   relaxation order: tightest (default) or lex
         --no-cache        disable state-graph memoization
+        --no-incremental  regenerate every relaxation trial's state graph
+                          from scratch instead of deriving it from its
+                          predecessor's (escape hatch; output is identical)
+        --no-memo         disable the local-STG projection memo
     -h, --help            print this help and exit
 ";
 
+/// Where the circuit comes from.
+enum Source {
+    /// `.g` + `.eqn` files on disk.
+    Files { stg_path: String, eqn_path: String },
+    /// A bundled Table 7.2 benchmark by name.
+    Bench(String),
+}
+
 /// Parsed command line.
 struct Args {
-    stg_path: String,
-    eqn_path: String,
+    source: Source,
     config: EngineConfig,
     json: bool,
 }
@@ -43,11 +58,16 @@ enum ArgsOutcome {
 fn parse_args(argv: &[String]) -> ArgsOutcome {
     let mut config = EngineConfig::default();
     let mut json = false;
+    let mut bench: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "-h" | "--help" => return ArgsOutcome::Help,
+            "--bench" => match it.next() {
+                Some(name) => bench = Some(name.clone()),
+                None => return ArgsOutcome::Error("--bench expects a benchmark name".into()),
+            },
             "-j" | "--jobs" => match it.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) => config.jobs = n,
                 _ => return ArgsOutcome::Error("--jobs expects a non-negative integer".into()),
@@ -63,20 +83,29 @@ fn parse_args(argv: &[String]) -> ArgsOutcome {
                 _ => return ArgsOutcome::Error("--order expects `tightest` or `lex`".into()),
             },
             "--no-cache" => config.cache = false,
+            "--no-incremental" => config.incremental = false,
+            "--no-memo" => config.memo_projection = false,
             flag if flag.starts_with('-') => {
                 return ArgsOutcome::Error(format!("unknown option `{flag}`"))
             }
             _ => positional.push(arg.clone()),
         }
     }
-    match <[String; 2]>::try_from(positional) {
-        Ok([stg_path, eqn_path]) => ArgsOutcome::Run(Box::new(Args {
-            stg_path,
-            eqn_path,
+    match (bench, <[String; 2]>::try_from(positional)) {
+        (Some(name), Err(rest)) if rest.is_empty() => ArgsOutcome::Run(Box::new(Args {
+            source: Source::Bench(name),
             config,
             json,
         })),
-        Err(_) => ArgsOutcome::Error("expected exactly two paths: <stg.g> <netlist.eqn>".into()),
+        (Some(_), _) => ArgsOutcome::Error("--bench takes no positional paths".into()),
+        (None, Ok([stg_path, eqn_path])) => ArgsOutcome::Run(Box::new(Args {
+            source: Source::Files { stg_path, eqn_path },
+            config,
+            json,
+        })),
+        (None, Err(_)) => {
+            ArgsOutcome::Error("expected exactly two paths: <stg.g> <netlist.eqn>".into())
+        }
     }
 }
 
@@ -104,16 +133,27 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &Args) -> Result<(), String> {
-    let stg_text = std::fs::read_to_string(&args.stg_path)
-        .map_err(|e| format!("cannot read `{}`: {e}", args.stg_path))?;
-    let eqn_text = std::fs::read_to_string(&args.eqn_path)
-        .map_err(|e| format!("cannot read `{}`: {e}", args.eqn_path))?;
-
     let started = Instant::now();
     let engine = Engine::new(args.config);
-    let out = engine
-        .run_source(&stg_text, &eqn_text)
-        .map_err(|e| e.to_string())?;
+    let out = match &args.source {
+        Source::Files { stg_path, eqn_path } => {
+            let stg_text = std::fs::read_to_string(stg_path)
+                .map_err(|e| format!("cannot read `{stg_path}`: {e}"))?;
+            let eqn_text = std::fs::read_to_string(eqn_path)
+                .map_err(|e| format!("cannot read `{eqn_path}`: {e}"))?;
+            engine
+                .run_source(&stg_text, &eqn_text)
+                .map_err(|e| e.to_string())?
+        }
+        Source::Bench(name) => {
+            let bench = si_redress::suite::benchmark(name)
+                .ok_or_else(|| format!("no bundled benchmark named `{name}`"))?;
+            let (stg, library) = bench
+                .circuit_with_budget(args.config.global_sg_budget)
+                .map_err(|e| e.to_string())?;
+            engine.run(&stg, &library).map_err(|e| e.to_string())?
+        }
+    };
     let elapsed = started.elapsed().as_secs_f64();
 
     if args.json {
@@ -170,17 +210,21 @@ fn render_json(out: &EngineReport, elapsed: f64) -> String {
     };
     let stages = json_list(&out.stages, |s| {
         format!(
-            "{{\"stage\":{},\"wall_us\":{},\"states_explored\":{},\"sg_cache_hits\":{},\"sg_cache_misses\":{}}}",
+            "{{\"stage\":{},\"wall_us\":{},\"states_explored\":{},\"sg_cache_hits\":{},\"sg_cache_misses\":{},\"sg_delta_hits\":{},\"sg_inc_derived\":{},\"proj_memo_hits\":{},\"proj_memo_misses\":{}}}",
             json_str(s.stage.name()),
             s.wall.as_micros(),
             s.states_explored,
             s.sg_cache_hits,
             s.sg_cache_misses,
+            s.sg_delta_hits,
+            s.sg_inc_derived,
+            s.proj_memo_hits,
+            s.proj_memo_misses,
         )
     });
     let gates = json_list(&out.gates, |g| {
         format!(
-            "{{\"gate\":{},\"project_us\":{},\"relax_us\":{},\"iterations\":{},\"states_explored\":{},\"sg_cache_hits\":{},\"sg_cache_misses\":{}}}",
+            "{{\"gate\":{},\"project_us\":{},\"relax_us\":{},\"iterations\":{},\"states_explored\":{},\"sg_cache_hits\":{},\"sg_cache_misses\":{},\"sg_delta_hits\":{},\"sg_inc_derived\":{},\"proj_memo_hits\":{},\"proj_memo_misses\":{}}}",
             json_str(&g.gate),
             g.project_wall.as_micros(),
             g.relax_wall.as_micros(),
@@ -188,10 +232,14 @@ fn render_json(out: &EngineReport, elapsed: f64) -> String {
             g.states_explored,
             g.sg_cache_hits,
             g.sg_cache_misses,
+            g.sg_delta_hits,
+            g.sg_inc_derived,
+            g.proj_memo_hits,
+            g.proj_memo_misses,
         )
     });
     format!(
-        "{{\"baseline\":{},\"constraints\":{},\"state_count\":{},\"iterations\":{},\"jobs\":{},\"stages\":{},\"gates\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{}}},\"fanout_wall_us\":{},\"total_wall_us\":{},\"elapsed_seconds\":{elapsed:.6}}}",
+        "{{\"baseline\":{},\"constraints\":{},\"state_count\":{},\"iterations\":{},\"jobs\":{},\"stages\":{},\"gates\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"delta_hits\":{},\"delta_entries\":{},\"inc_derived\":{}}},\"projections\":{{\"hits\":{},\"misses\":{},\"entries\":{}}},\"fanout_wall_us\":{},\"total_wall_us\":{},\"elapsed_seconds\":{elapsed:.6}}}",
         constraints(&out.report.baseline),
         constraints(&out.report.constraints),
         out.report.state_count,
@@ -202,6 +250,12 @@ fn render_json(out: &EngineReport, elapsed: f64) -> String {
         out.cache.hits,
         out.cache.misses,
         out.cache.entries,
+        out.cache.delta_hits,
+        out.cache.delta_entries,
+        out.cache.inc_derived,
+        out.projections.hits,
+        out.projections.misses,
+        out.projections.entries,
         out.fanout_wall.as_micros(),
         out.total_wall.as_micros(),
     )

@@ -121,6 +121,9 @@ fn check_hazard_parallel_json_reports_the_gold_circuit() {
     // 19 baseline + 12 derived constraint strings.
     assert_eq!(stdout.matches(" < ").count(), 31);
     assert!(stdout.contains("\"cache\":{"));
+    assert!(stdout.contains("\"projections\":{"));
+    assert!(stdout.contains("\"sg_delta_hits\""));
+    assert!(stdout.contains("\"proj_memo_hits\""));
 
     let _ = std::fs::remove_file(stg_path);
     let _ = std::fs::remove_file(eqn_path);
@@ -154,9 +157,53 @@ fn check_hazard_text_output_is_identical_across_jobs_and_cache_settings() {
     let parallel = constraint_lines(&["--jobs", "4"]);
     assert_eq!(sequential.len(), 31);
     assert_eq!(sequential, parallel);
+    // The incremental-regeneration and projection-memo escape hatches
+    // must not change a single constraint line either.
+    let scratch = constraint_lines(&["--no-incremental", "--no-memo"]);
+    assert_eq!(sequential, scratch);
+    let fully_reused = constraint_lines(&[]);
+    assert_eq!(sequential, fully_reused);
 
     let _ = std::fs::remove_file(stg_path);
     let _ = std::fs::remove_file(eqn_path);
+}
+
+#[test]
+fn check_hazard_bench_mode_runs_bundled_circuits() {
+    let constraint_lines = |args: &[&str]| -> Vec<String> {
+        let output = Command::new(env!("CARGO_BIN_EXE_check_hazard"))
+            .args(args)
+            .output()
+            .expect("binary runs");
+        assert!(
+            output.status.success(),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8_lossy(&output.stdout)
+            .lines()
+            .filter(|l| l.contains(" < "))
+            .map(str::to_string)
+            .collect()
+    };
+    let default = constraint_lines(&["--bench", "imec-ram-read-sbuf"]);
+    assert_eq!(default.len(), 31, "19 baseline + 12 derived");
+    // The CI smoke diff in miniature: the incremental path and its escape
+    // hatch must print identical reports.
+    let scratch = constraint_lines(&["--bench", "imec-ram-read-sbuf", "--no-incremental"]);
+    assert_eq!(default, scratch);
+
+    // Unknown names and mixing --bench with paths are usage errors.
+    let output = Command::new(env!("CARGO_BIN_EXE_check_hazard"))
+        .args(["--bench", "no-such-circuit"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    let output = Command::new(env!("CARGO_BIN_EXE_check_hazard"))
+        .args(["--bench", "fifo", "a.g", "b.eqn"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
 }
 
 #[test]

@@ -2,7 +2,11 @@
 //! benchmark, the parallel + memoized pipeline must produce results
 //! **bit-identical** to the sequential uncached path (the seed's
 //! monolithic driver) — same baseline, same derived constraints, same
-//! per-gate breakdown, same trace, same iteration counts.
+//! per-gate breakdown, same trace, same iteration counts. The
+//! configuration matrix below covers every combination of the reuse
+//! layers (`incremental`, `memo_projection`, `cache`) with the job-count
+//! dimension, cold and warm, so no knob can silently diverge from the
+//! reference path.
 
 use si_redress::core::{Engine, EngineConfig, RelaxationOrder, Stage};
 use si_redress::prelude::*;
@@ -23,6 +27,80 @@ fn parallel_memoized_engine_is_bit_identical_to_the_sequential_uncached_path() {
             bench.name
         );
     }
+}
+
+#[test]
+fn every_reuse_layer_configuration_is_bit_identical_to_the_reference() {
+    // {incremental} × {memo_projection} × {cache} × {jobs 1, jobs 4},
+    // cold and warm: 16 configurations per benchmark, every one compared
+    // against the sequential uncached reference — and the warm re-run
+    // (the all-hits path) compared again, because memo bugs typically
+    // only bite on the second pass.
+    for bench in si_redress::suite::benchmarks() {
+        let (stg, library) = bench.circuit().expect("loads");
+        let reference = derive_timing_constraints(&stg, &library).expect("derives");
+        for incremental in [false, true] {
+            for memo_projection in [false, true] {
+                for cache in [false, true] {
+                    for jobs in [1usize, 4] {
+                        let config = EngineConfig {
+                            incremental,
+                            memo_projection,
+                            cache,
+                            jobs,
+                            ..EngineConfig::default()
+                        };
+                        let engine = Engine::new(config);
+                        let cold = engine.run(&stg, &library).expect("derives");
+                        assert_eq!(
+                            cold.report, reference,
+                            "{}: cold run diverged under {config:?}",
+                            bench.name
+                        );
+                        let warm = engine.run(&stg, &library).expect("derives");
+                        assert_eq!(
+                            warm.report, reference,
+                            "{}: warm run diverged under {config:?}",
+                            bench.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_and_memo_layers_actually_engage() {
+    // The matrix above proves the layers are *safe*; this pins that they
+    // are *live* — a refactor that silently stops consulting a cache
+    // would otherwise keep passing every differential.
+    let bench = si_redress::suite::benchmark("imec-ram-read-sbuf").expect("bundled");
+    let (stg, library) = bench.circuit().expect("loads");
+    let engine = Engine::new(EngineConfig::default());
+    let cold = engine.run(&stg, &library).expect("derives");
+    let relax = cold.stage(Stage::Relax).expect("ran");
+    assert!(
+        relax.sg_inc_derived > 0,
+        "a cold run must derive relaxation trials incrementally: {relax:?}"
+    );
+    let warm = engine.run(&stg, &library).expect("derives");
+    let project = warm.stage(Stage::Project).expect("ran");
+    assert!(
+        project.proj_memo_hits > 0 && project.proj_memo_misses == 0,
+        "a warm run must answer every projection from the memo: {project:?}"
+    );
+    assert!(
+        warm.projections.hits >= project.proj_memo_hits,
+        "engine-level projection counters must cover the warm run: {:?}",
+        warm.projections
+    );
+    let warm_relax = warm.stage(Stage::Relax).expect("ran");
+    assert_eq!(warm_relax.sg_cache_misses, 0, "{warm_relax:?}");
+    assert!(
+        warm_relax.sg_delta_hits > 0,
+        "a warm run must answer repeated edits from the delta tier: {warm_relax:?}"
+    );
 }
 
 #[test]

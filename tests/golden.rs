@@ -1,0 +1,124 @@
+//! Golden conformance suite: one diff-friendly, human-readable snapshot
+//! per bundled benchmark (styx-style, `tests/golden/*.txt`), capturing the
+//! semantic payload of `check_hazard --format json` — both constraint
+//! sets, the per-gate verdicts and the relaxation trace with its hazard
+//! classifications.
+//!
+//! The files are generated from the *pinned sequential reference path*
+//! (`derive_timing_constraints`, uncached, non-incremental); the test then
+//! runs the full-featured engine (incremental regeneration, delta-tier
+//! cache, projection memo) and requires its output to be bit-identical.
+//! Any divergence between the fast path and the reference is caught here,
+//! suite-wide.
+//!
+//! To regenerate after an intentional output change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+//!
+//! then review the diff like any other code change.
+
+use std::fs;
+use std::path::PathBuf;
+
+use si_redress::core::{derive_timing_constraints, Engine, EngineConfig};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+fn header(name: &str) -> String {
+    format!(
+        "# Golden conformance snapshot for benchmark `{name}`: the semantic\n\
+         # payload of `check_hazard --format json` (constraints, per-gate\n\
+         # verdicts, hazard classifications), pinned by the sequential\n\
+         # reference derivation. Regenerate with:\n\
+         #   UPDATE_GOLDEN=1 cargo test --test golden\n"
+    )
+}
+
+/// Points at the first diverging line of two snapshots.
+fn first_diff(actual: &str, expected: &str) -> String {
+    for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+        if a != e {
+            return format!(
+                "first difference at line {}:\n  got:      {a}\n  expected: {e}",
+                i + 1
+            );
+        }
+    }
+    format!(
+        "one snapshot is a prefix of the other ({} vs {} lines)",
+        actual.lines().count(),
+        expected.lines().count()
+    )
+}
+
+#[test]
+fn golden_snapshots_pin_the_reference_output_for_every_benchmark() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    // One shared engine with every reuse layer on — exactly the
+    // configuration whose output must never drift from the reference.
+    let engine = Engine::new(EngineConfig::default());
+    for bench in si_redress::suite::benchmarks() {
+        let (stg, library) = bench.circuit().expect("loads");
+        let path = golden_path(bench.name);
+        if update {
+            // Regenerate from the pinned reference path, not from the
+            // engine under test: the files *are* the reference.
+            let reference = derive_timing_constraints(&stg, &library).expect("derives");
+            let contents = format!("{}{}", header(bench.name), reference.snapshot());
+            fs::write(&path, contents)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        }
+        let out = engine.run(&stg, &library).expect("derives");
+        let rendered = format!("{}{}", header(bench.name), out.report.snapshot());
+        let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden snapshot `{}`: {e}\n\
+                 run `UPDATE_GOLDEN=1 cargo test --test golden` to create it",
+                path.display()
+            )
+        });
+        assert_eq!(
+            rendered,
+            expected,
+            "golden snapshot mismatch for `{}` ({}).\n{}\n\
+             If the output change is intentional, regenerate the snapshots\n\
+             with `UPDATE_GOLDEN=1 cargo test --test golden` and review the\n\
+             diff; otherwise the incremental/memoized engine has diverged\n\
+             from the pinned sequential reference.",
+            bench.name,
+            path.display(),
+            first_diff(&rendered, &expected),
+        );
+    }
+}
+
+#[test]
+fn golden_directory_has_no_stale_snapshots() {
+    // Every file in tests/golden must correspond to a bundled benchmark:
+    // a renamed or removed benchmark must not leave an orphaned snapshot
+    // silently pinning nothing.
+    let names: Vec<&str> = si_redress::suite::benchmarks()
+        .iter()
+        .map(|b| b.name)
+        .collect();
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    for entry in fs::read_dir(&dir).expect("golden directory exists") {
+        let path = entry.expect("readable entry").path();
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_string();
+        assert!(
+            names.contains(&stem.as_str()),
+            "stale golden snapshot `{}` matches no bundled benchmark",
+            path.display()
+        );
+    }
+}

@@ -58,6 +58,21 @@ pub const DEFAULT_ALLOCATION_CAP: usize = 4096;
 /// and conformance pre-check budget).
 pub const DEFAULT_GLOBAL_SG_BUDGET: usize = 1_000_000;
 
+/// What the engine does with static-lint findings on its source inputs
+/// (the pre-flight [`Stage::Lint`] of [`Engine::run_source`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintPolicy {
+    /// Skip the lint stage entirely.
+    Off,
+    /// Lint and report the findings in [`EngineReport::lint`], but never
+    /// block the run — parse/validate still reject what they always did.
+    #[default]
+    Warn,
+    /// Lint, and fail fast with [`CoreError::Lint`] on any
+    /// error-severity finding, before the strict parse even runs.
+    Deny,
+}
+
 /// All tunables of the derivation pipeline in one place.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
@@ -90,6 +105,10 @@ pub struct EngineConfig {
     /// (keyed on component structure + output + fan-in), which makes warm
     /// runs of a circuit skip the projection sweeps entirely.
     pub memo_projection: bool,
+    /// What to do with static-lint findings on source inputs
+    /// ([`Engine::run_source`] only — [`Engine::run`] takes already-parsed
+    /// inputs and never lints).
+    pub lint: LintPolicy,
 }
 
 impl Default for EngineConfig {
@@ -108,6 +127,7 @@ impl Default for EngineConfig {
             cache: true,
             incremental: true,
             memo_projection: true,
+            lint: LintPolicy::Warn,
         }
     }
 }
@@ -122,6 +142,7 @@ impl EngineConfig {
             cache: false,
             incremental: false,
             memo_projection: false,
+            lint: LintPolicy::Off,
             ..Self::default()
         }
     }
@@ -154,6 +175,9 @@ impl EngineConfig {
 /// The pipeline stages, in execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Stage {
+    /// Static lint pre-flight over the `.g` source text (source entry
+    /// only; skipped under [`LintPolicy::Off`] but always listed).
+    Lint,
     /// `.g`/`.eqn` text to [`Stg`] + [`GateLibrary`] (source entry only).
     Parse,
     /// Liveness/safeness/free-choice/consistency of the STG (source entry
@@ -174,6 +198,7 @@ impl Stage {
     /// Stable lower-case stage name (used by the CLI's JSON output).
     pub fn name(self) -> &'static str {
         match self {
+            Stage::Lint => "lint",
             Stage::Parse => "parse",
             Stage::Validate => "validate",
             Stage::Decompose => "decompose",
@@ -268,6 +293,10 @@ pub struct EngineReport {
     pub report: ConstraintReport,
     /// Per-stage metrics in execution order.
     pub stages: Vec<StageMetrics>,
+    /// Findings of the static lint pre-flight ([`Engine::run_source`]
+    /// under [`LintPolicy::Warn`]/[`LintPolicy::Deny`]; empty otherwise —
+    /// [`Engine::run`] never lints).
+    pub lint: si_lint::LintReport,
     /// Per-gate metrics in gate order.
     pub gates: Vec<GateMetrics>,
     /// Cache counters accumulated over the engine's lifetime (shared
@@ -404,6 +433,32 @@ impl Engine {
     pub fn run_source(&self, stg_text: &str, eqn_text: &str) -> Result<EngineReport, CoreError> {
         let started = Instant::now();
 
+        // Stage: lint — the static pre-flight over the raw source. It
+        // sees *every* defect in one pass (the lenient parser recovers),
+        // where the strict parse below stops at the first.
+        let t = Instant::now();
+        let lint = if self.config.lint == LintPolicy::Off {
+            si_lint::LintReport::default()
+        } else {
+            let opts = si_lint::LintOptions {
+                state_budget: Some(self.config.global_sg_budget),
+            };
+            si_lint::lint_text_with(stg_text, &opts)
+        };
+        let lint_metrics = StageMetrics::timed(Stage::Lint, t.elapsed());
+        if self.config.lint == LintPolicy::Deny && lint.has_errors() {
+            let first = lint
+                .diagnostics
+                .iter()
+                .find(|d| d.severity == si_lint::Severity::Error)
+                .expect("has_errors");
+            return Err(CoreError::Lint {
+                name: lint.model.clone(),
+                errors: lint.error_count(),
+                detail: format!("{}[{}]: {}", first.severity, first.code, first.message),
+            });
+        }
+
         let t = Instant::now();
         let stg = parse_astg(stg_text).map_err(|e| CoreError::Parse {
             what: "STG",
@@ -430,7 +485,9 @@ impl Engine {
         let validate_metrics = StageMetrics::timed(Stage::Validate, t.elapsed());
 
         let mut out = self.run(&stg, &library)?;
-        out.stages.splice(0..0, [parse_metrics, validate_metrics]);
+        out.lint = lint;
+        out.stages
+            .splice(0..0, [lint_metrics, parse_metrics, validate_metrics]);
         out.total_wall = started.elapsed();
         Ok(out)
     }
@@ -526,6 +583,7 @@ impl Engine {
                 relax_metrics,
                 merge_metrics,
             ],
+            lint: si_lint::LintReport::default(),
             gates,
             cache: self.cache.stats(),
             projections: self.projections.stats(),
@@ -749,13 +807,14 @@ c- a+ b+
     }
 
     #[test]
-    fn run_source_goes_through_all_six_stages() {
+    fn run_source_goes_through_all_seven_stages() {
         let engine = Engine::new(EngineConfig::default());
         let out = engine.run_source(CELEM, CELEM_EQN).expect("derives");
         let stages: Vec<Stage> = out.stages.iter().map(|s| s.stage).collect();
         assert_eq!(
             stages,
             vec![
+                Stage::Lint,
                 Stage::Parse,
                 Stage::Validate,
                 Stage::Decompose,
@@ -765,6 +824,75 @@ c- a+ b+
             ]
         );
         assert_eq!(out.stage(Stage::Decompose).expect("ran").states_explored, 8);
+        // CELEM is clean, so the default Warn policy reports nothing.
+        assert!(out.lint.is_clean());
+    }
+
+    #[test]
+    fn lint_policy_governs_the_pre_flight() {
+        // An undeclared signal (`b`) plus an intact ring: lint error.
+        let dirty = "\
+.model dirty
+.inputs a
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+";
+        // Deny fails fast with the lint verdict, before the strict parse.
+        let deny = Engine::new(EngineConfig {
+            lint: LintPolicy::Deny,
+            ..EngineConfig::default()
+        });
+        match deny.run_source(dirty, "a = b;") {
+            Err(CoreError::Lint {
+                name,
+                errors,
+                detail,
+            }) => {
+                assert_eq!(name, "dirty");
+                assert_eq!(errors, 1);
+                assert!(detail.contains("SI004"), "{detail}");
+            }
+            other => panic!("expected CoreError::Lint, got {other:?}"),
+        }
+        // Warn lets the strict parser reject it exactly as before.
+        let warn = Engine::new(EngineConfig::default());
+        assert!(matches!(
+            warn.run_source(dirty, "a = b;"),
+            Err(CoreError::Parse { what: "STG", .. })
+        ));
+        // Off skips linting entirely on a clean input.
+        let off = Engine::new(EngineConfig {
+            lint: LintPolicy::Off,
+            ..EngineConfig::default()
+        });
+        let out = off.run_source(CELEM, CELEM_EQN).expect("derives");
+        assert!(out.lint.is_clean());
+        assert_eq!(out.stages[0].stage, Stage::Lint);
+    }
+
+    #[test]
+    fn lint_stage_never_changes_the_derived_constraints() {
+        // The engine output on lint-clean inputs must be bit-identical
+        // across all three policies.
+        let reports: Vec<_> = [LintPolicy::Off, LintPolicy::Warn, LintPolicy::Deny]
+            .into_iter()
+            .map(|lint| {
+                Engine::new(EngineConfig {
+                    lint,
+                    ..EngineConfig::default()
+                })
+                .run_source(CELEM, CELEM_EQN)
+                .expect("derives")
+                .report
+            })
+            .collect();
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[1], reports[2]);
     }
 
     #[test]

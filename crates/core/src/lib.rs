@@ -84,7 +84,9 @@ pub use check::{
     RelaxationCase, StateClass,
 };
 pub use constraint::{Constraint, ConstraintAtom};
-pub use engine::{Engine, EngineConfig, EngineReport, GateMetrics, Stage, StageMetrics};
+pub use engine::{
+    Engine, EngineConfig, EngineReport, GateMetrics, LintPolicy, Stage, StageMetrics,
+};
 pub use error::CoreError;
 pub use expand::{expand, expand_with_order, ExpandOutcome, RelaxationOrder, TraceEvent};
 pub use local::{ArcType, GateContext, LocalStg};

@@ -1,0 +1,326 @@
+//! The diagnostics model: stable codes, severities, span-carrying
+//! diagnostics with related notes and fix hints, and the [`LintReport`]
+//! container the renderers consume.
+
+use std::fmt;
+
+use si_stg::Span;
+
+/// Stable diagnostic codes. Codes are append-only: a published code never
+/// changes meaning, and retired codes are never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// Malformed syntax the parser had to skip (place-to-place arcs, bad
+    /// marking bodies, graph lines outside `.graph`, missing `.graph`).
+    SI001,
+    /// Unrecognized `.section` directive (skipped).
+    SI002,
+    /// `.dummy` transitions are not supported by the derivation flow.
+    SI003,
+    /// A transition on a signal no section declares (assumed `.inputs`).
+    SI004,
+    /// A signal declared more than once (first declaration wins).
+    SI005,
+    /// A declared signal with no transitions in the graph.
+    SI006,
+    /// The same arc written twice (merged).
+    SI007,
+    /// A self-loop: a place both consumed and produced by one transition.
+    SI008,
+    /// No place holds an initial token, so nothing can ever fire.
+    SI009,
+    /// The initial marking is not 1-safe (a place holds >1 token, or a
+    /// source transition can pump tokens unboundedly).
+    SI010,
+    /// A transition that can never fire, by structure alone.
+    SI011,
+    /// The net's skeleton splits into disconnected components.
+    SI012,
+    /// Rise/fall transition counts differ for a signal, breaking the
+    /// alternation every consistent STG needs.
+    SI013,
+    /// A choice place whose successor also waits on other places —
+    /// not free-choice, which defeats Hack's MG allocation.
+    SI014,
+    /// A merge place whose source transitions are not choice-separated:
+    /// OR-causality misuse that double-marks the place.
+    SI015,
+    /// The structural state-count lower bound already exceeds the
+    /// configured exploration budget.
+    SI016,
+}
+
+impl Code {
+    /// Every code, in order — the fixture corpus and the catalogue doc
+    /// are checked against this list.
+    pub const ALL: [Code; 16] = [
+        Code::SI001,
+        Code::SI002,
+        Code::SI003,
+        Code::SI004,
+        Code::SI005,
+        Code::SI006,
+        Code::SI007,
+        Code::SI008,
+        Code::SI009,
+        Code::SI010,
+        Code::SI011,
+        Code::SI012,
+        Code::SI013,
+        Code::SI014,
+        Code::SI015,
+        Code::SI016,
+    ];
+
+    /// The stable code string (`"SI001"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::SI001 => "SI001",
+            Code::SI002 => "SI002",
+            Code::SI003 => "SI003",
+            Code::SI004 => "SI004",
+            Code::SI005 => "SI005",
+            Code::SI006 => "SI006",
+            Code::SI007 => "SI007",
+            Code::SI008 => "SI008",
+            Code::SI009 => "SI009",
+            Code::SI010 => "SI010",
+            Code::SI011 => "SI011",
+            Code::SI012 => "SI012",
+            Code::SI013 => "SI013",
+            Code::SI014 => "SI014",
+            Code::SI015 => "SI015",
+            Code::SI016 => "SI016",
+        }
+    }
+
+    /// One-line summary of what the code means, shared by the renderers
+    /// and the `docs/diagnostics.md` catalogue.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::SI001 => "syntax error",
+            Code::SI002 => "unknown section",
+            Code::SI003 => "dummy transitions unsupported",
+            Code::SI004 => "undeclared signal",
+            Code::SI005 => "duplicate signal declaration",
+            Code::SI006 => "unused signal",
+            Code::SI007 => "duplicate arc",
+            Code::SI008 => "self-loop arc",
+            Code::SI009 => "empty initial marking",
+            Code::SI010 => "initial marking not 1-safe",
+            Code::SI011 => "structurally dead transition",
+            Code::SI012 => "disconnected specification",
+            Code::SI013 => "signal consistency violation",
+            Code::SI014 => "free-choice violation",
+            Code::SI015 => "OR-causality misuse",
+            Code::SI016 => "state budget infeasible",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational context.
+    Note,
+    /// Suspicious but not definitely wrong; the derivation may still run.
+    Warning,
+    /// A defect that makes the specification unusable for derivation.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case renderer label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A secondary location attached to a diagnostic (`the other declaration
+/// is here`, `the merge place is created here`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Related {
+    /// Where.
+    pub span: Span,
+    /// Why this location matters.
+    pub message: String,
+}
+
+/// One finding: code, severity, primary span, message, optional related
+/// spans and an optional fix hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Error / warning / note.
+    pub severity: Severity,
+    /// Primary source location (`None` for whole-spec findings with no
+    /// anchor, e.g. an empty marking in a file with no `.marking` line).
+    pub span: Option<Span>,
+    /// What is wrong, in one sentence.
+    pub message: String,
+    /// Secondary locations.
+    pub related: Vec<Related>,
+    /// How to fix it, when a fix is mechanical enough to suggest.
+    pub fix: Option<String>,
+}
+
+impl Diagnostic {
+    /// A new diagnostic with no related spans and no fix hint.
+    pub fn new(
+        code: Code,
+        severity: Severity,
+        span: Option<Span>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            code,
+            severity,
+            span,
+            message: message.into(),
+            related: Vec::new(),
+            fix: None,
+        }
+    }
+
+    /// Attaches a related span.
+    pub fn with_related(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.related.push(Related {
+            span,
+            message: message.into(),
+        });
+        self
+    }
+
+    /// Attaches a fix hint.
+    pub fn with_fix(mut self, fix: impl Into<String>) -> Self {
+        self.fix = Some(fix.into());
+        self
+    }
+}
+
+/// All diagnostics for one specification, in source order (span-less
+/// findings last), plus the model name the linter recovered.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LintReport {
+    /// The `.model` name (or `"stg"` if none).
+    pub model: String,
+    /// The findings, sorted by primary span then code.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.severity_count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.severity_count(Severity::Warning)
+    }
+
+    fn severity_count(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// Whether any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Whether there are no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Sorts findings into the canonical order: primary span (span-less
+    /// findings last), then code, then message — deterministic for the
+    /// golden suite.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            let key = |d: &Diagnostic| {
+                (
+                    d.span
+                        .map_or((usize::MAX, usize::MAX), |s| (s.start, s.end)),
+                    d.code,
+                    d.message.clone(),
+                )
+            };
+            key(a).cmp(&key(b))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let mut strings: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
+        strings.dedup();
+        assert_eq!(strings.len(), Code::ALL.len());
+        for (i, c) in Code::ALL.iter().enumerate() {
+            assert_eq!(c.as_str(), format!("SI{:03}", i + 1));
+            assert!(!c.title().is_empty());
+        }
+    }
+
+    #[test]
+    fn report_counts_and_sorting() {
+        let span = |start: usize| Span {
+            start,
+            end: start + 1,
+            line: 1,
+            col: start + 1,
+        };
+        let mut report = LintReport {
+            model: "m".into(),
+            diagnostics: vec![
+                Diagnostic::new(Code::SI006, Severity::Warning, None, "unused"),
+                Diagnostic::new(Code::SI004, Severity::Error, Some(span(9)), "undeclared"),
+                Diagnostic::new(Code::SI005, Severity::Error, Some(span(2)), "duplicate"),
+            ],
+        };
+        report.sort();
+        assert_eq!(report.diagnostics[0].code, Code::SI005);
+        assert_eq!(report.diagnostics[1].code, Code::SI004);
+        assert_eq!(report.diagnostics[2].code, Code::SI006);
+        assert_eq!(report.error_count(), 2);
+        assert_eq!(report.warning_count(), 1);
+        assert!(report.has_errors());
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn builder_attaches_related_and_fix() {
+        let s = Span {
+            start: 0,
+            end: 3,
+            line: 1,
+            col: 1,
+        };
+        let d = Diagnostic::new(Code::SI005, Severity::Error, Some(s), "declared twice")
+            .with_related(s, "first declared here")
+            .with_fix("remove one declaration");
+        assert_eq!(d.related.len(), 1);
+        assert_eq!(d.fix.as_deref(), Some("remove one declaration"));
+    }
+}

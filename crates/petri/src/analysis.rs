@@ -1,7 +1,7 @@
 use std::collections::HashMap;
 
 use crate::error::PetriError;
-use crate::net::{Marking, PetriNet, TransitionId};
+use crate::net::{Marking, PetriNet, PlaceId, TransitionId};
 
 /// The reachability graph of a bounded net.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,6 +118,96 @@ impl PetriNet {
     }
 }
 
+impl PetriNet {
+    /// Partitions the net's skeleton (places and transitions as one node
+    /// set, arcs undirected) into weakly connected components. Returns one
+    /// transition list per component, in discovery order; isolated places
+    /// form components with an empty transition list, which are skipped.
+    ///
+    /// Purely structural — no marking exploration. A well-formed STG has
+    /// exactly one component; more than one means two independent subnets
+    /// were glued into one specification, usually a copy-paste defect.
+    pub fn weakly_connected_components(&self) -> Vec<Vec<TransitionId>> {
+        let np = self.place_count();
+        let nt = self.transition_count();
+        // Node ids: 0..np are places, np..np+nt are transitions.
+        let mut seen = vec![false; np + nt];
+        let mut components = Vec::new();
+        for start in 0..np + nt {
+            if seen[start] {
+                continue;
+            }
+            seen[start] = true;
+            let mut stack = vec![start];
+            let mut transitions = Vec::new();
+            while let Some(n) = stack.pop() {
+                let neighbours: Vec<usize> = if n < np {
+                    let p = PlaceId(n);
+                    self.place_pre(p)
+                        .iter()
+                        .chain(self.place_post(p))
+                        .map(|t| np + t.0)
+                        .collect()
+                } else {
+                    let t = TransitionId(n - np);
+                    transitions.push(t);
+                    self.transition_pre(t)
+                        .iter()
+                        .chain(self.transition_post(t))
+                        .map(|p| p.0)
+                        .collect()
+                };
+                for m in neighbours {
+                    if !seen[m] {
+                        seen[m] = true;
+                        stack.push(m);
+                    }
+                }
+            }
+            if !transitions.is_empty() {
+                components.push(transitions);
+            }
+        }
+        components
+    }
+
+    /// Which transitions could *structurally* ever fire: the least
+    /// fixpoint of "a place can be marked if it starts marked or some
+    /// potentially-fireable transition feeds it; a transition is
+    /// potentially fireable if every input place can be marked" (a
+    /// transition with an empty preset is always fireable).
+    ///
+    /// This over-approximates reachability — a `true` entry may still be
+    /// dead under the token game — but a `false` entry is *definitely*
+    /// dead, with no marking exploration needed. Indexed by
+    /// `TransitionId.0`.
+    pub fn structurally_fireable(&self) -> Vec<bool> {
+        let m0 = self.initial_marking();
+        let mut place_markable: Vec<bool> = m0.iter().map(|&k| k > 0).collect();
+        let mut fireable = vec![false; self.transition_count()];
+        loop {
+            let mut changed = false;
+            for t in self.transitions() {
+                if fireable[t.0] {
+                    continue;
+                }
+                if self.transition_pre(t).iter().all(|p| place_markable[p.0]) {
+                    fireable[t.0] = true;
+                    changed = true;
+                    for p in self.transition_post(t) {
+                        if !place_markable[p.0] {
+                            place_markable[p.0] = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return fireable;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +291,74 @@ mod tests {
             net.reachability(16),
             Err(PetriError::StateBudgetExceeded { budget: 16 })
         );
+    }
+
+    #[test]
+    fn fig_3_1_is_one_component_and_fully_fireable() {
+        let net = fig_3_1();
+        assert_eq!(net.weakly_connected_components().len(), 1);
+        assert!(net.structurally_fireable().into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn disjoint_rings_are_two_components() {
+        let mut net = PetriNet::new();
+        for name in ["a", "b"] {
+            let p = net.add_place(format!("p_{name}"), 1);
+            let t = net.add_transition(format!("t_{name}"));
+            net.add_arc_pt(p, t);
+            net.add_arc_tp(t, p);
+        }
+        let components = net.weakly_connected_components();
+        assert_eq!(components.len(), 2);
+        assert_eq!(components[0], vec![TransitionId(0)]);
+        assert_eq!(components[1], vec![TransitionId(1)]);
+        // An isolated place joins no component.
+        net.add_place("orphan", 0);
+        assert_eq!(net.weakly_connected_components().len(), 2);
+    }
+
+    #[test]
+    fn structurally_dead_transition_is_detected() {
+        // Thesis Fig. 3.2 shape: a transition whose only input place can
+        // never be marked.
+        let mut net = fig_3_1();
+        let dead_p = net.add_place("dead", 0);
+        let dead_t = net.add_transition("t_dead");
+        net.add_arc_pt(dead_p, dead_t);
+        net.add_arc_tp(dead_t, dead_p);
+        let fireable = net.structurally_fireable();
+        assert!(!fireable[dead_t.0]);
+        assert!(fireable[..dead_t.0].iter().all(|&b| b));
+    }
+
+    #[test]
+    fn fireability_propagates_through_chains() {
+        // p0(1) -> t0 -> p1 -> t1 -> p2 -> t2: the token flows down the
+        // chain, so every transition is potentially fireable even though
+        // only t0 is initially enabled.
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0", 1);
+        let p1 = net.add_place("p1", 0);
+        let p2 = net.add_place("p2", 0);
+        let ts: Vec<TransitionId> = (0..3)
+            .map(|i| net.add_transition(format!("t{i}")))
+            .collect();
+        net.add_arc_pt(p0, ts[0]);
+        net.add_arc_tp(ts[0], p1);
+        net.add_arc_pt(p1, ts[1]);
+        net.add_arc_tp(ts[1], p2);
+        net.add_arc_pt(p2, ts[2]);
+        assert!(net.structurally_fireable().into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn source_transitions_are_always_fireable() {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p", 0);
+        let t = net.add_transition("t");
+        net.add_arc_tp(t, p);
+        assert_eq!(net.structurally_fireable(), vec![true]);
     }
 
     #[test]

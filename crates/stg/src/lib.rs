@@ -22,7 +22,10 @@ mod signal;
 mod stg;
 
 pub use mg::{ArcAttr, ArcDelta, MgStg, SgKey};
-pub use parse::{parse_astg, write_astg, ParseAstgError, IMEC_RAM_READ_SBUF_G};
+pub use parse::{
+    parse_astg, parse_astg_lenient, write_astg, LenientParse, ParseAstgError, ParseErrorKind, Span,
+    SpecSpans, IMEC_RAM_READ_SBUF_G,
+};
 pub use sg::{SgState, StateGraph};
 pub use signal::{Polarity, SignalId, SignalKind, TransitionLabel};
 pub use stg::{Stg, StgError, StgHealth};

@@ -7,8 +7,21 @@
 //! `csc0-/2`) or explicit places (any other identifier). Arcs between two
 //! transitions create an implicit place, markable as `<t1,t2>` in the
 //! marking section.
+//!
+//! Two entry points share one implementation:
+//!
+//! - [`parse_astg`] — strict: stops at the first fatal defect and returns
+//!   it as a [`ParseAstgError`] carrying a byte [`Span`] with 1-based
+//!   line/column.
+//! - [`parse_astg_lenient`] — error-recovering: keeps parsing past
+//!   recoverable defects (undeclared signals are assumed to be inputs,
+//!   malformed lines are skipped, duplicate arcs are merged) and returns
+//!   the best-effort [`Stg`] together with *every* defect found and a
+//!   [`SpecSpans`] side table locating each signal, transition and place
+//!   in the source — the front-end the `si-lint` static analyzer builds
+//!   its diagnostics on.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 
@@ -17,26 +30,151 @@ use si_petri::{PlaceId, TransitionId};
 use crate::signal::{Polarity, SignalKind, TransitionLabel};
 use crate::stg::Stg;
 
-/// Errors from [`parse_astg`].
+/// A byte range in the source text plus the 1-based line and column of its
+/// start. Columns count bytes within the line (the format is ASCII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: usize,
+    /// 1-based byte column of `start` within its line.
+    pub col: usize,
+}
+
+impl Span {
+    /// A zero-width span at a position.
+    pub fn point(offset: usize, line: usize, col: usize) -> Self {
+        Self {
+            start: offset,
+            end: offset,
+            line,
+            col,
+        }
+    }
+
+    /// Length in bytes (zero for point spans).
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// What category of defect a [`ParseAstgError`] reports. The lenient
+/// parser recovers from every kind; the strict parser fails on every kind
+/// except [`ParseErrorKind::DuplicateArc`] (which it has always merged
+/// silently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Malformed syntax: place-to-place arcs, bad marking bodies, graph
+    /// lines outside `.graph`, a missing `.graph` section.
+    Syntax,
+    /// An unrecognized `.section` directive.
+    UnknownSection,
+    /// `.dummy` transitions (unsupported by the thesis flow).
+    DummyUnsupported,
+    /// A `.graph` transition on a signal no section declares.
+    UndeclaredSignal,
+    /// A signal declared in more than one place.
+    DuplicateSignal,
+    /// The same arc written twice (merged, never fatal).
+    DuplicateArc,
+}
+
+impl ParseErrorKind {
+    /// Whether strict [`parse_astg`] fails on this kind.
+    pub fn is_fatal(self) -> bool {
+        !matches!(self, ParseErrorKind::DuplicateArc)
+    }
+}
+
+/// Errors from [`parse_astg`] / defects collected by
+/// [`parse_astg_lenient`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseAstgError {
-    /// 1-based line number.
-    pub line: usize,
+    /// Defect category.
+    pub kind: ParseErrorKind,
+    /// Where in the source text.
+    pub span: Span,
     /// What went wrong.
     pub message: String,
+}
+
+impl ParseAstgError {
+    /// 1-based line number (start of the span).
+    pub fn line(&self) -> usize {
+        self.span.line
+    }
+
+    /// 1-based byte column (start of the span).
+    pub fn col(&self) -> usize {
+        self.span.col
+    }
 }
 
 impl fmt::Display for ParseAstgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "astg parse error at line {}: {}",
-            self.line, self.message
+            "astg parse error at line {}, column {}: {}",
+            self.span.line, self.span.col, self.message
         )
     }
 }
 
 impl Error for ParseAstgError {}
+
+/// Source locations of everything the parser created, indexed like the
+/// [`Stg`]'s own tables: `signals[SignalId.0]`, `transitions[TransitionId.0]`,
+/// `places[PlaceId.0]`. Implicit places carry the span of the arc token
+/// that created them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpecSpans {
+    /// Declaration site of each signal (first use for undeclared-signal
+    /// recoveries).
+    pub signals: Vec<Span>,
+    /// First occurrence of each transition in the `.graph` section.
+    pub transitions: Vec<Span>,
+    /// First occurrence of each place (explicit name or the arc that
+    /// created the implicit place).
+    pub places: Vec<Span>,
+    /// The `.marking` line, if present.
+    pub marking: Option<Span>,
+    /// The `.model` line, if present.
+    pub model: Option<Span>,
+}
+
+/// Result of [`parse_astg_lenient`]: a best-effort [`Stg`], every defect
+/// found, and the source locations of the recovered structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LenientParse {
+    /// The recovered STG (undeclared signals assumed `.inputs`, malformed
+    /// lines skipped, duplicate arcs merged).
+    pub stg: Stg,
+    /// Every defect, in source order.
+    pub errors: Vec<ParseAstgError>,
+    /// Where each signal/transition/place lives in the source.
+    pub spans: SpecSpans,
+}
+
+impl LenientParse {
+    /// The first defect the strict parser would have failed on.
+    pub fn first_fatal(&self) -> Option<&ParseAstgError> {
+        self.errors.iter().find(|e| e.kind.is_fatal())
+    }
+}
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum NodeRef {
@@ -65,245 +203,465 @@ fn parse_node(token: &str) -> NodeRef {
     NodeRef::Place(token.to_string())
 }
 
-/// Parses an STG in the `.g` format.
-///
-/// # Errors
-///
-/// Returns [`ParseAstgError`] on unknown signals, malformed sections,
-/// place-to-place arcs, `.dummy` transitions (unsupported by the thesis
-/// flow) or unknown marking entries.
-pub fn parse_astg(text: &str) -> Result<Stg, ParseAstgError> {
-    let mut stg = Stg::new("stg");
-    let mut declared: BTreeMap<String, SignalKind> = BTreeMap::new();
-    let mut transitions: BTreeMap<(String, Polarity, u32), TransitionId> = BTreeMap::new();
-    let mut places: BTreeMap<String, PlaceId> = BTreeMap::new();
-    let mut implicit: BTreeMap<(TransitionId, TransitionId), PlaceId> = BTreeMap::new();
-    let mut in_graph = false;
-    let mut saw_graph = false;
-
-    let err = |line: usize, message: String| ParseAstgError { line, message };
-
-    for (idx, raw) in text.lines().enumerate() {
-        let lineno = idx + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix(".model") {
-            stg.name = rest.trim().to_string();
-            continue;
-        }
-        if line.starts_with(".dummy") {
-            return Err(err(lineno, "`.dummy` transitions are not supported".into()));
-        }
-        let declare = |kind: SignalKind,
-                       rest: &str,
-                       stg: &mut Stg,
-                       declared: &mut BTreeMap<String, SignalKind>|
-         -> Result<(), ParseAstgError> {
-            for name in rest.split_whitespace() {
-                if declared.contains_key(name) {
-                    return Err(ParseAstgError {
-                        line: lineno,
-                        message: format!("signal `{name}` declared twice"),
-                    });
-                }
-                declared.insert(name.to_string(), kind);
-                stg.add_signal(name, kind);
-            }
-            Ok(())
-        };
-        if let Some(rest) = line.strip_prefix(".inputs") {
-            declare(SignalKind::Input, rest, &mut stg, &mut declared)?;
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix(".outputs") {
-            declare(SignalKind::Output, rest, &mut stg, &mut declared)?;
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix(".internal") {
-            declare(SignalKind::Internal, rest, &mut stg, &mut declared)?;
-            continue;
-        }
-        if line == ".graph" {
-            in_graph = true;
-            saw_graph = true;
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix(".marking") {
-            in_graph = false;
-            parse_marking(rest, lineno, &mut stg, &transitions, &places, &implicit)?;
-            continue;
-        }
-        if line == ".end" {
-            break;
-        }
-        if line.starts_with('.') {
-            return Err(err(lineno, format!("unknown section `{line}`")));
-        }
-        if !in_graph {
-            return Err(err(
-                lineno,
-                format!("unexpected line outside `.graph`: `{line}`"),
-            ));
-        }
-
-        // A graph line: src dst1 dst2 ...
-        let mut tokens = line.split_whitespace();
-        let src_tok = tokens.next().expect("non-empty line");
-        let resolve_t = |name: &str,
-                         pol: Polarity,
-                         occ: u32,
-                         stg: &mut Stg,
-                         transitions: &mut BTreeMap<(String, Polarity, u32), TransitionId>|
-         -> Result<TransitionId, ParseAstgError> {
-            let sig = stg.signal_by_name(name).ok_or_else(|| ParseAstgError {
-                line: lineno,
-                message: format!("undeclared signal `{name}`"),
-            })?;
-            Ok(*transitions
-                .entry((name.to_string(), pol, occ))
-                .or_insert_with(|| stg.add_transition(TransitionLabel::new(sig, pol, occ))))
-        };
-        let resolve_p = |name: &str, stg: &mut Stg, places: &mut BTreeMap<String, PlaceId>| {
-            *places
-                .entry(name.to_string())
-                .or_insert_with(|| stg.net_mut().add_place(name, 0))
-        };
-
-        let src = match parse_node(src_tok) {
-            NodeRef::Transition(name, pol, occ) => {
-                NodeKind::T(resolve_t(&name, pol, occ, &mut stg, &mut transitions)?)
-            }
-            NodeRef::Place(name) => NodeKind::P(resolve_p(&name, &mut stg, &mut places)),
-        };
-        for dst_tok in tokens {
-            let dst = match parse_node(dst_tok) {
-                NodeRef::Transition(name, pol, occ) => {
-                    NodeKind::T(resolve_t(&name, pol, occ, &mut stg, &mut transitions)?)
-                }
-                NodeRef::Place(name) => NodeKind::P(resolve_p(&name, &mut stg, &mut places)),
-            };
-            match (src, dst) {
-                (NodeKind::T(a), NodeKind::T(b)) => {
-                    implicit.entry((a, b)).or_insert_with(|| {
-                        let pname = format!(
-                            "<{},{}>",
-                            stg.net().transition_name(a),
-                            stg.net().transition_name(b)
-                        );
-                        let p = stg.net_mut().add_place(pname, 0);
-                        stg.net_mut().add_arc_tp(a, p);
-                        stg.net_mut().add_arc_pt(p, b);
-                        p
-                    });
-                }
-                (NodeKind::T(a), NodeKind::P(p)) => stg.net_mut().add_arc_tp(a, p),
-                (NodeKind::P(p), NodeKind::T(b)) => stg.net_mut().add_arc_pt(p, b),
-                (NodeKind::P(_), NodeKind::P(_)) => {
-                    return Err(err(lineno, "place-to-place arcs are not allowed".into()))
-                }
-            }
-        }
-    }
-
-    if !saw_graph {
-        return Err(err(1, "missing `.graph` section".into()));
-    }
-    Ok(stg)
-}
-
 #[derive(Debug, Clone, Copy)]
 enum NodeKind {
     T(TransitionId),
     P(PlaceId),
 }
 
-fn parse_marking(
-    rest: &str,
-    lineno: usize,
-    stg: &mut Stg,
-    transitions: &BTreeMap<(String, Polarity, u32), TransitionId>,
-    places: &BTreeMap<String, PlaceId>,
-    implicit: &BTreeMap<(TransitionId, TransitionId), PlaceId>,
-) -> Result<(), ParseAstgError> {
-    let err = |message: String| ParseAstgError {
-        line: lineno,
-        message,
-    };
-    let body = rest.trim();
-    let body = body
-        .strip_prefix('{')
-        .and_then(|b| b.strip_suffix('}'))
-        .ok_or_else(|| err("marking must be wrapped in `{ ... }`".into()))?;
+impl NodeKind {
+    /// A stable dedup key: transitions and places in disjoint ranges.
+    fn key(self) -> (u8, usize) {
+        match self {
+            NodeKind::T(t) => (0, t.0),
+            NodeKind::P(p) => (1, p.0),
+        }
+    }
+}
 
-    // Tokenize: `<a+,b->` pairs (optionally `=k`) and bare place names.
-    let mut chars = body.chars().peekable();
-    let mut entries: Vec<(String, u32)> = Vec::new();
-    while let Some(&c) = chars.peek() {
+/// Whitespace-separated tokens of `s` with their spans. `abs` is the byte
+/// offset of `s` in the whole source, `line_off` its byte offset within
+/// its line, `lineno` the 1-based line number.
+fn tokens_at(s: &str, abs: usize, line_off: usize, lineno: usize) -> Vec<(&str, Span)> {
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, c) in s.char_indices() {
         if c.is_whitespace() {
-            chars.next();
-            continue;
-        }
-        let mut token = String::new();
-        if c == '<' {
-            for ch in chars.by_ref() {
-                token.push(ch);
-                if ch == '>' {
-                    break;
-                }
+            if let Some(b) = start.take() {
+                out.push((
+                    &s[b..i],
+                    Span {
+                        start: abs + b,
+                        end: abs + i,
+                        line: lineno,
+                        col: line_off + b + 1,
+                    },
+                ));
             }
+        } else if start.is_none() {
+            start = Some(i);
         }
-        while let Some(&ch) = chars.peek() {
-            if ch.is_whitespace() || ch == '<' {
-                break;
-            }
-            token.push(ch);
-            chars.next();
+    }
+    if let Some(b) = start {
+        out.push((
+            &s[b..],
+            Span {
+                start: abs + b,
+                end: abs + s.len(),
+                line: lineno,
+                col: line_off + b + 1,
+            },
+        ));
+    }
+    out
+}
+
+struct Parser {
+    stg: Stg,
+    declared: BTreeMap<String, SignalKind>,
+    transitions: BTreeMap<(String, Polarity, u32), TransitionId>,
+    places: BTreeMap<String, PlaceId>,
+    implicit: BTreeMap<(TransitionId, TransitionId), PlaceId>,
+    arcs_seen: BTreeSet<((u8, usize), (u8, usize))>,
+    errors: Vec<ParseAstgError>,
+    spans: SpecSpans,
+    in_graph: bool,
+    saw_graph: bool,
+}
+
+impl Parser {
+    fn new() -> Self {
+        Self {
+            stg: Stg::new("stg"),
+            declared: BTreeMap::new(),
+            transitions: BTreeMap::new(),
+            places: BTreeMap::new(),
+            implicit: BTreeMap::new(),
+            arcs_seen: BTreeSet::new(),
+            errors: Vec::new(),
+            spans: SpecSpans::default(),
+            in_graph: false,
+            saw_graph: false,
         }
-        if token.is_empty() {
-            break;
-        }
-        let (name, count) = match token.split_once('=') {
-            Some((n, k)) => (
-                n.to_string(),
-                k.parse::<u32>()
-                    .map_err(|_| err(format!("bad token count in `{token}`")))?,
-            ),
-            None => (token, 1),
-        };
-        entries.push((name, count));
     }
 
-    for (name, count) in entries {
+    fn error(&mut self, kind: ParseErrorKind, span: Span, message: impl Into<String>) {
+        self.errors.push(ParseAstgError {
+            kind,
+            span,
+            message: message.into(),
+        });
+    }
+
+    fn declare(&mut self, kind: SignalKind, tokens: &[(&str, Span)]) {
+        for &(name, span) in tokens {
+            if self.declared.contains_key(name) {
+                self.error(
+                    ParseErrorKind::DuplicateSignal,
+                    span,
+                    format!("signal `{name}` declared twice"),
+                );
+                continue;
+            }
+            self.declared.insert(name.to_string(), kind);
+            self.stg.add_signal(name, kind);
+            self.spans.signals.push(span);
+        }
+    }
+
+    /// Resolves a transition node, auto-declaring undeclared signals as
+    /// inputs (with an [`ParseErrorKind::UndeclaredSignal`] defect) so the
+    /// rest of the specification can still be analyzed.
+    fn resolve_transition(
+        &mut self,
+        name: &str,
+        pol: Polarity,
+        occ: u32,
+        span: Span,
+    ) -> TransitionId {
+        if self.stg.signal_by_name(name).is_none() {
+            self.error(
+                ParseErrorKind::UndeclaredSignal,
+                span,
+                format!("undeclared signal `{name}`"),
+            );
+            self.declared.insert(name.to_string(), SignalKind::Input);
+            self.stg.add_signal(name, SignalKind::Input);
+            self.spans.signals.push(span);
+        }
+        let sig = self.stg.signal_by_name(name).expect("just ensured");
+        if let Some(&t) = self.transitions.get(&(name.to_string(), pol, occ)) {
+            return t;
+        }
+        let t = self.stg.add_transition(TransitionLabel::new(sig, pol, occ));
+        self.transitions.insert((name.to_string(), pol, occ), t);
+        self.spans.transitions.push(span);
+        t
+    }
+
+    fn resolve_place(&mut self, name: &str, span: Span) -> PlaceId {
+        if let Some(&p) = self.places.get(name) {
+            return p;
+        }
+        let p = self.stg.net_mut().add_place(name, 0);
+        self.places.insert(name.to_string(), p);
+        self.spans.places.push(span);
+        p
+    }
+
+    fn resolve_node(&mut self, token: &str, span: Span) -> NodeKind {
+        match parse_node(token) {
+            NodeRef::Transition(name, pol, occ) => {
+                NodeKind::T(self.resolve_transition(&name, pol, occ, span))
+            }
+            NodeRef::Place(name) => NodeKind::P(self.resolve_place(&name, span)),
+        }
+    }
+
+    /// Adds one `.graph` arc, merging duplicates (with a defect) and
+    /// skipping place-to-place arcs (with a defect).
+    fn add_arc(&mut self, src: NodeKind, dst: NodeKind, dst_span: Span) {
+        if !self.arcs_seen.insert((src.key(), dst.key())) {
+            let name = |n: NodeKind| match n {
+                NodeKind::T(t) => self.stg.net().transition_name(t).to_string(),
+                NodeKind::P(p) => self.stg.net().place_name(p).to_string(),
+            };
+            self.error(
+                ParseErrorKind::DuplicateArc,
+                dst_span,
+                format!("duplicate arc `{} {}` is merged", name(src), name(dst)),
+            );
+            return;
+        }
+        match (src, dst) {
+            (NodeKind::T(a), NodeKind::T(b)) => {
+                if !self.implicit.contains_key(&(a, b)) {
+                    let pname = format!(
+                        "<{},{}>",
+                        self.stg.net().transition_name(a),
+                        self.stg.net().transition_name(b)
+                    );
+                    let p = self.stg.net_mut().add_place(pname, 0);
+                    self.stg.net_mut().add_arc_tp(a, p);
+                    self.stg.net_mut().add_arc_pt(p, b);
+                    self.implicit.insert((a, b), p);
+                    self.spans.places.push(dst_span);
+                }
+            }
+            (NodeKind::T(a), NodeKind::P(p)) => self.stg.net_mut().add_arc_tp(a, p),
+            (NodeKind::P(p), NodeKind::T(b)) => self.stg.net_mut().add_arc_pt(p, b),
+            (NodeKind::P(_), NodeKind::P(_)) => {
+                self.error(
+                    ParseErrorKind::Syntax,
+                    dst_span,
+                    "place-to-place arcs are not allowed",
+                );
+            }
+        }
+    }
+
+    fn marking_entry(&mut self, name: &str, count: u32, span: Span) {
         if let Some(inner) = name.strip_prefix('<').and_then(|n| n.strip_suffix('>')) {
-            let (a, b) = inner
-                .split_once(',')
-                .ok_or_else(|| err(format!("bad implicit place `{name}`")))?;
-            let lookup = |tok: &str| -> Result<TransitionId, ParseAstgError> {
+            let Some((a, b)) = inner.split_once(',') else {
+                self.error(
+                    ParseErrorKind::Syntax,
+                    span,
+                    format!("bad implicit place `{name}`"),
+                );
+                return;
+            };
+            let mut lookup = |tok: &str| -> Option<TransitionId> {
                 match parse_node(tok.trim()) {
-                    NodeRef::Transition(n, pol, occ) => transitions
-                        .get(&(n.clone(), pol, occ))
-                        .copied()
-                        .ok_or_else(|| err(format!("unknown transition `{tok}` in marking"))),
-                    NodeRef::Place(_) => Err(err(format!("`{tok}` is not a transition"))),
+                    NodeRef::Transition(n, pol, occ) => {
+                        let t = self.transitions.get(&(n, pol, occ)).copied();
+                        if t.is_none() {
+                            self.error(
+                                ParseErrorKind::Syntax,
+                                span,
+                                format!("unknown transition `{tok}` in marking"),
+                            );
+                        }
+                        t
+                    }
+                    NodeRef::Place(_) => {
+                        self.error(
+                            ParseErrorKind::Syntax,
+                            span,
+                            format!("`{tok}` is not a transition"),
+                        );
+                        None
+                    }
                 }
             };
-            let (ta, tb) = (lookup(a)?, lookup(b)?);
-            let p = implicit
-                .get(&(ta, tb))
-                .copied()
-                .ok_or_else(|| err(format!("no implicit place `{name}` in the graph")))?;
-            stg.net_mut().set_initial(p, count);
+            let (Some(ta), Some(tb)) = (lookup(a), lookup(b)) else {
+                return;
+            };
+            match self.implicit.get(&(ta, tb)).copied() {
+                Some(p) => self.stg.net_mut().set_initial(p, count),
+                None => self.error(
+                    ParseErrorKind::Syntax,
+                    span,
+                    format!("no implicit place `{name}` in the graph"),
+                ),
+            }
         } else {
-            let p = places
-                .get(&name)
-                .copied()
-                .ok_or_else(|| err(format!("unknown place `{name}` in marking")))?;
-            stg.net_mut().set_initial(p, count);
+            match self.places.get(name).copied() {
+                Some(p) => self.stg.net_mut().set_initial(p, count),
+                None => self.error(
+                    ParseErrorKind::Syntax,
+                    span,
+                    format!("unknown place `{name}` in marking"),
+                ),
+            }
         }
     }
-    Ok(())
+
+    /// Parses the body of a `.marking` line. `rest` is everything after
+    /// the directive, `abs`/`line_off` locate it in the source.
+    fn marking(&mut self, rest: &str, abs: usize, line_off: usize, lineno: usize) {
+        let trimmed = rest.trim();
+        let lead = rest.len() - rest.trim_start().len();
+        let body = trimmed.strip_prefix('{').and_then(|b| b.strip_suffix('}'));
+        let Some(body) = body else {
+            self.error(
+                ParseErrorKind::Syntax,
+                Span {
+                    start: abs + lead,
+                    end: abs + lead + trimmed.len(),
+                    line: lineno,
+                    col: line_off + lead + 1,
+                },
+                "marking must be wrapped in `{ ... }`",
+            );
+            return;
+        };
+        let body_abs = abs + lead + 1;
+        let body_off = line_off + lead + 1;
+
+        // Tokenize: `<a+,b->` groups (optionally `=k`) and bare names.
+        let mut chars = body.char_indices().peekable();
+        while let Some(&(start, c)) = chars.peek() {
+            if c.is_whitespace() {
+                chars.next();
+                continue;
+            }
+            let mut end = start;
+            if c == '<' {
+                for (i, ch) in chars.by_ref() {
+                    end = i + ch.len_utf8();
+                    if ch == '>' {
+                        break;
+                    }
+                }
+            }
+            while let Some(&(i, ch)) = chars.peek() {
+                if ch.is_whitespace() || ch == '<' {
+                    break;
+                }
+                end = i + ch.len_utf8();
+                chars.next();
+            }
+            let token = &body[start..end];
+            if token.is_empty() {
+                break;
+            }
+            let span = Span {
+                start: body_abs + start,
+                end: body_abs + end,
+                line: lineno,
+                col: body_off + start + 1,
+            };
+            let (name, count) = match token.split_once('=') {
+                Some((n, k)) => match k.parse::<u32>() {
+                    Ok(count) => (n, count),
+                    Err(_) => {
+                        self.error(
+                            ParseErrorKind::Syntax,
+                            span,
+                            format!("bad token count in `{token}`"),
+                        );
+                        continue;
+                    }
+                },
+                None => (token, 1),
+            };
+            self.marking_entry(name, count, span);
+        }
+    }
+
+    fn line(&mut self, raw: &str, abs: usize, lineno: usize) -> bool {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return true;
+        }
+        let lead = raw.len() - raw.trim_start().len();
+        let line_span = Span {
+            start: abs + lead,
+            end: abs + lead + line.len(),
+            line: lineno,
+            col: lead + 1,
+        };
+        // Offset (absolute, in-line) of `rest` after a directive prefix.
+        let after = |n: usize| (abs + lead + n, lead + n);
+
+        if let Some(rest) = line.strip_prefix(".model") {
+            self.stg.name = rest.trim().to_string();
+            self.spans.model = Some(line_span);
+            return true;
+        }
+        if line.starts_with(".dummy") {
+            self.error(
+                ParseErrorKind::DummyUnsupported,
+                line_span,
+                "`.dummy` transitions are not supported",
+            );
+            return true;
+        }
+        for (directive, kind) in [
+            (".inputs", SignalKind::Input),
+            (".outputs", SignalKind::Output),
+            (".internal", SignalKind::Internal),
+        ] {
+            if let Some(rest) = line.strip_prefix(directive) {
+                let (rest_abs, rest_off) = after(directive.len());
+                let tokens = tokens_at(rest, rest_abs, rest_off, lineno);
+                self.declare(kind, &tokens);
+                return true;
+            }
+        }
+        if line == ".graph" {
+            self.in_graph = true;
+            self.saw_graph = true;
+            return true;
+        }
+        if let Some(rest) = line.strip_prefix(".marking") {
+            self.in_graph = false;
+            self.spans.marking = Some(line_span);
+            let (rest_abs, rest_off) = after(".marking".len());
+            self.marking(rest, rest_abs, rest_off, lineno);
+            return true;
+        }
+        if line == ".end" {
+            return false;
+        }
+        if line.starts_with('.') {
+            self.error(
+                ParseErrorKind::UnknownSection,
+                line_span,
+                format!("unknown section `{line}`"),
+            );
+            return true;
+        }
+        if !self.in_graph {
+            self.error(
+                ParseErrorKind::Syntax,
+                line_span,
+                format!("unexpected line outside `.graph`: `{line}`"),
+            );
+            return true;
+        }
+
+        // A graph line: src dst1 dst2 ...
+        let tokens = tokens_at(line, abs + lead, lead, lineno);
+        let Some(&(src_tok, src_span)) = tokens.first() else {
+            return true;
+        };
+        let src = self.resolve_node(src_tok, src_span);
+        for &(dst_tok, dst_span) in &tokens[1..] {
+            let dst = self.resolve_node(dst_tok, dst_span);
+            self.add_arc(src, dst, dst_span);
+        }
+        true
+    }
+
+    fn finish(mut self) -> LenientParse {
+        if !self.saw_graph {
+            self.errors.push(ParseAstgError {
+                kind: ParseErrorKind::Syntax,
+                span: Span::point(0, 1, 1),
+                message: "missing `.graph` section".into(),
+            });
+        }
+        LenientParse {
+            stg: self.stg,
+            errors: self.errors,
+            spans: self.spans,
+        }
+    }
+}
+
+/// Parses an STG in the `.g` format, recovering from every defect: the
+/// result carries the best-effort [`Stg`] plus all defects with spans.
+/// Never panics, on any input.
+pub fn parse_astg_lenient(text: &str) -> LenientParse {
+    let mut parser = Parser::new();
+    let mut abs = 0usize;
+    for (idx, raw_incl) in text.split_inclusive('\n').enumerate() {
+        let raw = raw_incl
+            .strip_suffix('\n')
+            .map_or(raw_incl, |r| r.strip_suffix('\r').unwrap_or(r));
+        if !parser.line(raw, abs, idx + 1) {
+            break;
+        }
+        abs += raw_incl.len();
+    }
+    parser.finish()
+}
+
+/// Parses an STG in the `.g` format, strictly.
+///
+/// # Errors
+///
+/// Returns the first fatal [`ParseAstgError`] — unknown signals, malformed
+/// sections, place-to-place arcs, `.dummy` transitions (unsupported by the
+/// thesis flow) or unknown marking entries. Duplicate arcs are merged
+/// silently, as the petrify-era tools do.
+pub fn parse_astg(text: &str) -> Result<Stg, ParseAstgError> {
+    let parsed = parse_astg_lenient(text);
+    match parsed.errors.into_iter().find(|e| e.kind.is_fatal()) {
+        Some(e) => Err(e),
+        None => Ok(parsed.stg),
+    }
 }
 
 /// Writes an STG in the `.g` format (implicit places for 1-in/1-out
@@ -519,6 +877,9 @@ b+/2 a+
         let text = ".model x\n.inputs a\n.graph\na+ zz+\n.marking { }\n.end\n";
         let e = parse_astg(text).unwrap_err();
         assert!(e.message.contains("undeclared"));
+        assert_eq!(e.kind, ParseErrorKind::UndeclaredSignal);
+        assert_eq!(e.span.line, 4);
+        assert_eq!(e.span.col, 4);
     }
 
     #[test]
@@ -592,6 +953,8 @@ b- a+
         let text = ".model x\n.inputs a\n.outputs a\n.graph\na+ a-\n.end\n";
         let e = parse_astg(text).unwrap_err();
         assert!(e.message.contains("twice"));
+        assert_eq!(e.span.line, 3);
+        assert_eq!(e.span.col, 10);
     }
 
     #[test]
@@ -617,6 +980,11 @@ b- a+
         let stg = parse_astg(text).expect("valid");
         // Only one implicit place between a+ and b+.
         assert_eq!(stg.net().place_count(), 4);
+        // The lenient parser reports the merge as a non-fatal defect.
+        let parsed = parse_astg_lenient(text);
+        assert_eq!(parsed.errors.len(), 1);
+        assert_eq!(parsed.errors[0].kind, ParseErrorKind::DuplicateArc);
+        assert!(parsed.first_fatal().is_none());
     }
 
     #[test]
@@ -633,5 +1001,88 @@ b+ a+
 ";
         let stg = parse_astg(text).expect("valid");
         assert_eq!(stg.net().initial_marking().iter().sum::<u32>(), 2);
+    }
+
+    #[test]
+    fn lenient_parse_recovers_and_reports_every_defect() {
+        // Five distinct defects in one file; the strict parser would stop
+        // at the first, the lenient one reports all and still recovers a
+        // usable net from the well-formed remainder.
+        let text = "\
+.model broken
+.inputs a a
+.frequency 50
+.dummy d0
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+p0 p1
+.marking { <b-,a+> qq }
+.end
+";
+        let parsed = parse_astg_lenient(text);
+        let kinds: Vec<ParseErrorKind> = parsed.errors.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ParseErrorKind::DuplicateSignal,
+                ParseErrorKind::UnknownSection,
+                ParseErrorKind::DummyUnsupported,
+                ParseErrorKind::UndeclaredSignal,
+                ParseErrorKind::Syntax, // place-to-place
+                ParseErrorKind::Syntax, // unknown marking place
+            ]
+        );
+        // Recovery: `b` was assumed to be an input, the ring is intact and
+        // the marked implicit place got its token.
+        let stg = &parsed.stg;
+        assert_eq!(stg.signal_count(), 2);
+        assert_eq!(stg.net().transition_count(), 4);
+        assert_eq!(stg.net().initial_marking().iter().sum::<u32>(), 1);
+        // Strict mode reports the first fatal defect.
+        assert_eq!(
+            parse_astg(text).unwrap_err().kind,
+            ParseErrorKind::DuplicateSignal
+        );
+    }
+
+    #[test]
+    fn lenient_parse_records_spans_for_every_entity() {
+        let parsed = parse_astg_lenient(HANDSHAKE);
+        assert!(parsed.errors.is_empty());
+        let spans = &parsed.spans;
+        assert_eq!(spans.signals.len(), parsed.stg.signal_count());
+        assert_eq!(spans.transitions.len(), parsed.stg.net().transition_count());
+        assert_eq!(spans.places.len(), parsed.stg.net().place_count());
+        // `.inputs req` is line 2; the name starts at column 9.
+        assert_eq!(spans.signals[0].line, 2);
+        assert_eq!(spans.signals[0].col, 9);
+        // `req+` first occurs on line 5, column 1.
+        assert_eq!(spans.transitions[0].line, 5);
+        assert_eq!(spans.transitions[0].col, 1);
+        assert_eq!(spans.marking.expect("present").line, 9);
+        // Spans point back into the source text.
+        let s = spans.signals[0];
+        assert_eq!(&HANDSHAKE[s.start..s.end], "req");
+    }
+
+    #[test]
+    fn lenient_parse_never_panics_on_garbage() {
+        for text in [
+            "",
+            "\n\n\n",
+            ".end",
+            ".graph",
+            ".marking { <a+ }",
+            ".marking x",
+            "a+ b+",
+            ".inputs\n.graph\n+ -\n/ //\n.marking { = <,> x=y }\n.end",
+            ".model \u{fe0f}\n.graph\n\u{fe0f}+ \u{fe0f}-\n.end",
+        ] {
+            let _ = parse_astg_lenient(text);
+            let _ = parse_astg(text);
+        }
     }
 }

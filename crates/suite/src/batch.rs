@@ -10,7 +10,8 @@
 use std::error::Error;
 use std::fmt;
 
-use si_core::{CoreError, Engine, EngineReport};
+use si_core::{CoreError, Engine, EngineReport, LintPolicy};
+use si_lint::{LintOptions, LintReport};
 
 use crate::{benchmarks, Benchmark, LoadBenchmarkError};
 
@@ -21,6 +22,9 @@ pub struct BatchEntry {
     pub name: &'static str,
     /// The engine's extended report.
     pub report: EngineReport,
+    /// The pre-flight lint findings on the benchmark's `.g` source
+    /// (empty under [`LintPolicy::Off`]).
+    pub lint: LintReport,
 }
 
 /// Failure of one benchmark inside a batch run.
@@ -28,6 +32,14 @@ pub struct BatchEntry {
 pub enum BatchError {
     /// The circuit failed to load or synthesize.
     Load(LoadBenchmarkError),
+    /// The specification failed the lint pre-flight under
+    /// [`LintPolicy::Deny`].
+    Lint {
+        /// The benchmark name.
+        name: &'static str,
+        /// The findings (at least one error-severity).
+        report: LintReport,
+    },
     /// The derivation failed.
     Derive {
         /// The benchmark name.
@@ -41,6 +53,11 @@ impl fmt::Display for BatchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BatchError::Load(e) => write!(f, "{e}"),
+            BatchError::Lint { name, report } => write!(
+                f,
+                "benchmark `{name}` failed the lint pre-flight with {} error(s)",
+                report.error_count()
+            ),
             BatchError::Derive { name, source } => {
                 write!(f, "benchmark `{name}` failed to derive: {source}")
             }
@@ -52,18 +69,37 @@ impl Error for BatchError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             BatchError::Load(e) => Some(e),
+            BatchError::Lint { .. } => None,
             BatchError::Derive { source, .. } => Some(source),
         }
     }
 }
 
 /// Runs one benchmark through `engine` (loading/synthesizing its circuit
-/// under the engine's global state budget).
+/// under the engine's global state budget), with the same lint pre-flight
+/// [`si_core::Engine::run_source`] applies: the engine's
+/// [`LintPolicy`] decides whether findings are skipped, carried in
+/// [`BatchEntry::lint`], or fail the benchmark.
 ///
 /// # Errors
 ///
-/// [`BatchError::Load`] or [`BatchError::Derive`].
+/// [`BatchError::Load`], [`BatchError::Lint`] or [`BatchError::Derive`].
 pub fn run_benchmark(engine: &Engine, bench: &Benchmark) -> Result<BatchEntry, BatchError> {
+    let policy = engine.config().lint;
+    let lint = if policy == LintPolicy::Off {
+        LintReport::default()
+    } else {
+        let opts = LintOptions {
+            state_budget: Some(engine.config().global_sg_budget),
+        };
+        si_lint::lint_text_with(bench.stg_text, &opts)
+    };
+    if policy == LintPolicy::Deny && lint.has_errors() {
+        return Err(BatchError::Lint {
+            name: bench.name,
+            report: lint,
+        });
+    }
     let (stg, library) = bench
         .circuit_with_budget(engine.config().global_sg_budget)
         .map_err(BatchError::Load)?;
@@ -76,6 +112,7 @@ pub fn run_benchmark(engine: &Engine, bench: &Benchmark) -> Result<BatchEntry, B
     Ok(BatchEntry {
         name: bench.name,
         report,
+        lint,
     })
 }
 
@@ -125,5 +162,48 @@ mod tests {
         assert_eq!(first.report.report, second.report.report);
         // The second pass reuses the first pass's state graphs.
         assert!(second.report.cache.hits > first.report.cache.hits);
+        // The bundled corpus lints error-free, so Warn carries no errors.
+        assert_eq!(first.lint.error_count(), 0);
+    }
+
+    #[test]
+    fn deny_policy_blocks_defective_specs_before_derivation() {
+        let bench = Benchmark {
+            name: "defective",
+            // Undeclared signal `b`: lint error SI004.
+            stg_text: "\
+.model defective
+.inputs a
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+",
+            eqn_text: Some("b = a;"),
+        };
+        let deny = Engine::new(EngineConfig {
+            lint: si_core::LintPolicy::Deny,
+            ..EngineConfig::default()
+        });
+        match run_benchmark(&deny, &bench) {
+            Err(BatchError::Lint { name, report }) => {
+                assert_eq!(name, "defective");
+                assert!(report.has_errors());
+            }
+            other => panic!("expected BatchError::Lint, got {other:?}"),
+        }
+        // Off skips the pre-flight; the strict parser then rejects it at
+        // load time instead.
+        let off = Engine::new(EngineConfig {
+            lint: si_core::LintPolicy::Off,
+            ..EngineConfig::default()
+        });
+        assert!(matches!(
+            run_benchmark(&off, &bench),
+            Err(BatchError::Load(_))
+        ));
     }
 }

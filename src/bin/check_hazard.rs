@@ -3,12 +3,20 @@
 //! STG and a restricted-EQN netlist, derives the adversary-path
 //! constraints of the original specification and the relaxed constraint
 //! set sufficient for correctness, and prints them as the thesis text
-//! report or as machine-readable JSON with per-stage/per-gate metrics.
+//! report or as machine-readable JSON with per-stage/per-gate metrics
+//! and the lint pre-flight's diagnostics.
+//!
+//! Exit codes are meaningful: `0` when the circuit needs no relative
+//! timing constraints, `1` when a hazard was found (the derived set is
+//! non-empty), `2` on parse/lint/IO/derivation errors, `3` on usage
+//! errors.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use si_core::{Engine, EngineConfig, EngineReport, RelaxationOrder};
+use si_core::{CoreError, Engine, EngineConfig, EngineReport, LintPolicy, RelaxationOrder};
+use si_lint::LintReport;
+use si_redress::suite::BatchError;
 
 const USAGE: &str = "\
 usage: check_hazard [OPTIONS] <stg.g> <netlist.eqn>
@@ -22,6 +30,9 @@ OPTIONS:
         --bench <NAME>    run a bundled Table 7.2 benchmark by name
                           (synthesizing its netlist when the thesis gives
                           none) instead of reading the two files
+        --lint            strict lint pre-flight: refuse to derive when
+                          the specification has lint errors (the default
+                          policy only reports them on stderr)
     -j, --jobs <N>        worker threads for the per-gate fan-out
                           (default 1 = sequential, 0 = one per CPU)
     -f, --format <FMT>    output format: text (default) or json
@@ -32,6 +43,12 @@ OPTIONS:
                           predecessor's (escape hatch; output is identical)
         --no-memo         disable the local-STG projection memo
     -h, --help            print this help and exit
+
+EXIT CODES:
+    0    clean: the circuit needs no relative timing constraints
+    1    hazard found: the derived constraint set is non-empty
+    2    parse, lint, I/O or derivation error
+    3    usage error
 ";
 
 /// Where the circuit comes from.
@@ -68,6 +85,7 @@ fn parse_args(argv: &[String]) -> ArgsOutcome {
                 Some(name) => bench = Some(name.clone()),
                 None => return ArgsOutcome::Error("--bench expects a benchmark name".into()),
             },
+            "--lint" => config.lint = LintPolicy::Deny,
             "-j" | "--jobs" => match it.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) => config.jobs = n,
                 _ => return ArgsOutcome::Error("--jobs expects a non-negative integer".into()),
@@ -120,19 +138,28 @@ fn main() -> ExitCode {
         ArgsOutcome::Error(message) => {
             eprintln!("check_hazard: {message}");
             eprint!("{USAGE}");
-            return ExitCode::from(2);
+            return ExitCode::from(3);
         }
     };
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        // 0 = no constraints needed, 1 = hazard found (constraints derived).
+        Ok(hazard) => ExitCode::from(u8::from(hazard)),
         Err(message) => {
             eprintln!("check_hazard: {message}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
 
-fn run(args: &Args) -> Result<(), String> {
+/// Prints the lint pre-flight's findings (if any) to stderr so the
+/// pinned stdout report stays byte-identical for lint-clean runs.
+fn report_lint(report: &LintReport, source: &str, origin: &str) {
+    if !report.is_clean() {
+        eprint!("{}", si_lint::render_text(report, source, origin));
+    }
+}
+
+fn run(args: &Args) -> Result<bool, String> {
     let started = Instant::now();
     let engine = Engine::new(args.config);
     let out = match &args.source {
@@ -141,17 +168,47 @@ fn run(args: &Args) -> Result<(), String> {
                 .map_err(|e| format!("cannot read `{stg_path}`: {e}"))?;
             let eqn_text = std::fs::read_to_string(eqn_path)
                 .map_err(|e| format!("cannot read `{eqn_path}`: {e}"))?;
-            engine
-                .run_source(&stg_text, &eqn_text)
-                .map_err(|e| e.to_string())?
+            match engine.run_source(&stg_text, &eqn_text) {
+                Ok(out) => {
+                    report_lint(&out.lint, &stg_text, stg_path);
+                    out
+                }
+                Err(CoreError::Lint { errors, .. }) => {
+                    // Re-lint for the full findings: the engine error only
+                    // carries the first one.
+                    let report = si_lint::lint_text_with(
+                        &stg_text,
+                        &si_lint::LintOptions {
+                            state_budget: Some(args.config.global_sg_budget),
+                        },
+                    );
+                    report_lint(&report, &stg_text, stg_path);
+                    return Err(format!(
+                        "`{stg_path}` failed the lint pre-flight with {errors} error(s)"
+                    ));
+                }
+                Err(e) => return Err(e.to_string()),
+            }
         }
         Source::Bench(name) => {
             let bench = si_redress::suite::benchmark(name)
                 .ok_or_else(|| format!("no bundled benchmark named `{name}`"))?;
-            let (stg, library) = bench
-                .circuit_with_budget(args.config.global_sg_budget)
-                .map_err(|e| e.to_string())?;
-            engine.run(&stg, &library).map_err(|e| e.to_string())?
+            match si_redress::suite::run_benchmark(&engine, &bench) {
+                Ok(entry) => {
+                    report_lint(&entry.lint, bench.stg_text, name);
+                    let mut out = entry.report;
+                    out.lint = entry.lint;
+                    out
+                }
+                Err(BatchError::Lint { report, .. }) => {
+                    report_lint(&report, bench.stg_text, name);
+                    return Err(format!(
+                        "benchmark `{name}` failed the lint pre-flight with {} error(s)",
+                        report.error_count()
+                    ));
+                }
+                Err(e) => return Err(e.to_string()),
+            }
         }
     };
     let elapsed = started.elapsed().as_secs_f64();
@@ -161,7 +218,7 @@ fn run(args: &Args) -> Result<(), String> {
     } else {
         print_text(&out, elapsed);
     }
-    Ok(())
+    Ok(!out.report.constraints.is_empty())
 }
 
 fn print_text(out: &EngineReport, elapsed: f64) {
@@ -181,21 +238,7 @@ fn print_text(out: &EngineReport, elapsed: f64) {
 /// Minimal JSON string escaping (the identifiers here are plain ASCII,
 /// but be correct anyway).
 fn json_str(s: &str) -> String {
-    let mut o = String::with_capacity(s.len() + 2);
-    o.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => o.push_str("\\\""),
-            '\\' => o.push_str("\\\\"),
-            '\n' => o.push_str("\\n"),
-            '\r' => o.push_str("\\r"),
-            '\t' => o.push_str("\\t"),
-            c if (c as u32) < 0x20 => o.push_str(&format!("\\u{:04x}", c as u32)),
-            c => o.push(c),
-        }
-    }
-    o.push('"');
-    o
+    format!("\"{}\"", si_lint::json_escape(s))
 }
 
 fn json_list<T, F: Fn(&T) -> String>(items: &[T], f: F) -> String {
@@ -238,13 +281,21 @@ fn render_json(out: &EngineReport, elapsed: f64) -> String {
             g.proj_memo_misses,
         )
     });
+    let lint = format!(
+        "{{\"errors\":{},\"warnings\":{},\"diagnostics\":{}}}",
+        out.lint.error_count(),
+        out.lint.warning_count(),
+        si_lint::json_diagnostics(&out.lint, ""),
+    );
     format!(
-        "{{\"baseline\":{},\"constraints\":{},\"state_count\":{},\"iterations\":{},\"jobs\":{},\"stages\":{},\"gates\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"delta_hits\":{},\"delta_entries\":{},\"inc_derived\":{}}},\"projections\":{{\"hits\":{},\"misses\":{},\"entries\":{}}},\"fanout_wall_us\":{},\"total_wall_us\":{},\"elapsed_seconds\":{elapsed:.6}}}",
+        "{{\"baseline\":{},\"constraints\":{},\"hazard\":{},\"state_count\":{},\"iterations\":{},\"jobs\":{},\"lint\":{},\"stages\":{},\"gates\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"delta_hits\":{},\"delta_entries\":{},\"inc_derived\":{}}},\"projections\":{{\"hits\":{},\"misses\":{},\"entries\":{}}},\"fanout_wall_us\":{},\"total_wall_us\":{},\"elapsed_seconds\":{elapsed:.6}}}",
         constraints(&out.report.baseline),
         constraints(&out.report.constraints),
+        !out.report.constraints.is_empty(),
         out.report.state_count,
         out.report.iterations,
         out.jobs,
+        lint,
         stages,
         gates,
         out.cache.hits,

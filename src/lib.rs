@@ -11,8 +11,11 @@
 //! This crate is a facade re-exporting the workspace:
 //!
 //! - [`petri`]: Petri nets, marked graphs, Hack's MG decomposition;
-//! - [`stg`]: signal transition graphs, the `.g` format, state graphs,
-//!   projection;
+//! - [`stg`]: signal transition graphs, the `.g` format (with an
+//!   error-recovering, span-carrying parser), state graphs, projection;
+//! - [`lint`]: the static specification analyzer — stable `SI0xx`
+//!   diagnostic codes with spans, fix hints, text/JSON renderers — run as
+//!   the engine's pre-flight stage and by the `si_lint` binary;
 //! - [`boolean`]: cubes/covers, exact two-level minimization, the EQN
 //!   netlist format;
 //! - [`synth`]: SG-based complex-gate synthesis (the petrify stand-in);
@@ -42,6 +45,7 @@
 
 pub use si_boolean as boolean;
 pub use si_core as core;
+pub use si_lint as lint;
 pub use si_petri as petri;
 pub use si_sim as sim;
 pub use si_stg as stg;
@@ -53,8 +57,9 @@ pub mod prelude {
     pub use si_boolean::{parse_eqn, Cover, Cube, Gate, GateLibrary};
     pub use si_core::{
         derive_timing_constraints, plan_padding, AdversaryOracle, Constraint, ConstraintReport,
-        Engine, EngineConfig, EngineReport, RelaxationCase,
+        Engine, EngineConfig, EngineReport, LintPolicy, RelaxationCase,
     };
+    pub use si_lint::{lint_text, LintReport};
     pub use si_sim::{simulate, DelayModel};
     pub use si_stg::{parse_astg, MgStg, Polarity, SignalKind, StateGraph, Stg};
     pub use si_suite::run_suite;

@@ -1,5 +1,10 @@
 //! End-to-end test of the `check_hazard` command line (the thesis tool's
-//! interface, Sec. 7.3.1).
+//! interface, Sec. 7.3.1) and its exit-code contract:
+//!
+//! - `0` — clean: the derived constraint set is empty;
+//! - `1` — hazard found: the derived constraint set is non-empty;
+//! - `2` — parse/lint/IO/derivation error;
+//! - `3` — usage error.
 
 use std::io::Write;
 use std::process::Command;
@@ -12,6 +17,25 @@ fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
     path
 }
 
+/// A lint-clean circuit whose derived constraint set is empty (the
+/// C-element acknowledges both inputs, so no isochronic-fork orderings
+/// remain).
+const CELEM_G: &str = "\
+.model celem
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+";
+const CELEM_EQN: &str = "c = a*b + a*c + b*c;\n";
+
 #[test]
 fn check_hazard_reproduces_the_thesis_report() {
     let bench = si_redress::suite::benchmark("imec-ram-read-sbuf").expect("bundled");
@@ -23,8 +47,10 @@ fn check_hazard_reproduces_the_thesis_report() {
         .arg(&eqn_path)
         .output()
         .expect("binary runs");
-    assert!(
-        output.status.success(),
+    // 12 derived constraints: a hazard was found, so exit code 1.
+    assert_eq!(
+        output.status.code(),
+        Some(1),
         "stderr: {}",
         String::from_utf8_lossy(&output.stderr)
     );
@@ -47,12 +73,35 @@ fn check_hazard_reproduces_the_thesis_report() {
 }
 
 #[test]
+fn check_hazard_exits_zero_on_a_constraint_free_circuit() {
+    let stg_path = write_temp("celem.g", CELEM_G);
+    let eqn_path = write_temp("celem.eqn", CELEM_EQN);
+    let output = Command::new(env!("CARGO_BIN_EXE_check_hazard"))
+        .arg("--lint")
+        .arg(&stg_path)
+        .arg(&eqn_path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("The timing constraints for this circuit to work correctly are:"));
+    assert_eq!(stdout.matches(" < ").count(), 0);
+    let _ = std::fs::remove_file(stg_path);
+    let _ = std::fs::remove_file(eqn_path);
+}
+
+#[test]
 fn check_hazard_rejects_bad_usage() {
     let output = Command::new(env!("CARGO_BIN_EXE_check_hazard"))
         .output()
         .expect("binary runs");
     assert!(!output.status.success());
-    assert_eq!(output.status.code(), Some(2));
+    assert_eq!(output.status.code(), Some(3));
     assert!(String::from_utf8_lossy(&output.stderr).contains("usage"));
 }
 
@@ -68,6 +117,8 @@ fn check_hazard_help_exits_zero() {
         assert!(stdout.contains("usage"), "{flag}: {stdout}");
         assert!(stdout.contains("--jobs"));
         assert!(stdout.contains("--format"));
+        assert!(stdout.contains("--lint"));
+        assert!(stdout.contains("EXIT CODES"));
     }
 }
 
@@ -77,7 +128,7 @@ fn check_hazard_rejects_unknown_options() {
         .args(["--frobnicate", "a.g", "b.eqn"])
         .output()
         .expect("binary runs");
-    assert_eq!(output.status.code(), Some(2));
+    assert_eq!(output.status.code(), Some(3));
     assert!(String::from_utf8_lossy(&output.stderr).contains("--frobnicate"));
 }
 
@@ -93,8 +144,9 @@ fn check_hazard_parallel_json_reports_the_gold_circuit() {
         .arg(&eqn_path)
         .output()
         .expect("binary runs");
-    assert!(
-        output.status.success(),
+    assert_eq!(
+        output.status.code(),
+        Some(1),
         "stderr: {}",
         String::from_utf8_lossy(&output.stderr)
     );
@@ -103,7 +155,11 @@ fn check_hazard_parallel_json_reports_the_gold_circuit() {
     assert!(stdout.trim_start().starts_with('{'), "not JSON: {stdout}");
     assert!(stdout.contains("\"state_count\":112"));
     assert!(stdout.contains("\"jobs\":4"));
+    assert!(stdout.contains("\"hazard\":true"));
+    // The lint pre-flight payload: the gold circuit is clean.
+    assert!(stdout.contains("\"lint\":{\"errors\":0,\"warnings\":0,\"diagnostics\":[]}"));
     for stage in [
+        "lint",
         "parse",
         "validate",
         "decompose",
@@ -142,8 +198,9 @@ fn check_hazard_text_output_is_identical_across_jobs_and_cache_settings() {
             .arg(&eqn_path)
             .output()
             .expect("binary runs");
-        assert!(
-            output.status.success(),
+        assert_eq!(
+            output.status.code(),
+            Some(1),
             "{args:?}: {}",
             String::from_utf8_lossy(&output.stderr)
         );
@@ -163,6 +220,9 @@ fn check_hazard_text_output_is_identical_across_jobs_and_cache_settings() {
     assert_eq!(sequential, scratch);
     let fully_reused = constraint_lines(&[]);
     assert_eq!(sequential, fully_reused);
+    // Neither must the strict lint pre-flight (the spec is clean).
+    let linted = constraint_lines(&["--lint"]);
+    assert_eq!(sequential, linted);
 
     let _ = std::fs::remove_file(stg_path);
     let _ = std::fs::remove_file(eqn_path);
@@ -175,8 +235,9 @@ fn check_hazard_bench_mode_runs_bundled_circuits() {
             .args(args)
             .output()
             .expect("binary runs");
-        assert!(
-            output.status.success(),
+        assert_eq!(
+            output.status.code(),
+            Some(1),
             "{args:?}: {}",
             String::from_utf8_lossy(&output.stderr)
         );
@@ -193,17 +254,18 @@ fn check_hazard_bench_mode_runs_bundled_circuits() {
     let scratch = constraint_lines(&["--bench", "imec-ram-read-sbuf", "--no-incremental"]);
     assert_eq!(default, scratch);
 
-    // Unknown names and mixing --bench with paths are usage errors.
+    // Unknown names are runtime errors (2); mixing --bench with paths is
+    // a usage error (3).
     let output = Command::new(env!("CARGO_BIN_EXE_check_hazard"))
         .args(["--bench", "no-such-circuit"])
         .output()
         .expect("binary runs");
-    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(2));
     let output = Command::new(env!("CARGO_BIN_EXE_check_hazard"))
         .args(["--bench", "fifo", "a.g", "b.eqn"])
         .output()
         .expect("binary runs");
-    assert_eq!(output.status.code(), Some(2));
+    assert_eq!(output.status.code(), Some(3));
 }
 
 #[test]
@@ -215,7 +277,46 @@ fn check_hazard_reports_parse_errors() {
         .arg(&eqn_path)
         .output()
         .expect("binary runs");
-    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(2));
+    let _ = std::fs::remove_file(stg_path);
+    let _ = std::fs::remove_file(eqn_path);
+}
+
+#[test]
+fn check_hazard_lint_gate_blocks_defective_specs_with_diagnostics() {
+    // Undeclared signal `b` (SI004) plus an unknown section (SI002): the
+    // lenient parser recovers past both, so the lint pre-flight reports
+    // them together where the strict parser would stop at the first.
+    let stg_path = write_temp(
+        "dirty.g",
+        "\
+.model dirty
+.inputs a
+.weird
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+",
+    );
+    let eqn_path = write_temp("dirty.eqn", "b = a;\n");
+    let output = Command::new(env!("CARGO_BIN_EXE_check_hazard"))
+        .arg("--lint")
+        .arg(&stg_path)
+        .arg(&eqn_path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error[SI002]"), "stderr: {stderr}");
+    assert!(stderr.contains("error[SI004]"), "stderr: {stderr}");
+    assert!(stderr.contains("failed the lint pre-flight"), "{stderr}");
+    // Nothing was derived.
+    assert!(!String::from_utf8_lossy(&output.stdout)
+        .contains("The timing constraints for this circuit to work correctly are:"));
     let _ = std::fs::remove_file(stg_path);
     let _ = std::fs::remove_file(eqn_path);
 }

@@ -1,0 +1,10 @@
+# A place-to-place arc is not a valid `.g` line: arcs connect
+# transitions to transitions or to explicit places.
+.model si001
+.inputs a
+.graph
+a+ a-
+a- a+
+p0 p1
+.marking { <a-,a+> }
+.end

@@ -1,0 +1,10 @@
+# `.frequency` is not an astg section this tool understands; the
+# lenient parser skips it and keeps going.
+.model si002
+.inputs a
+.frequency 50
+.graph
+a+ a-
+a- a+
+.marking { <a-,a+> }
+.end

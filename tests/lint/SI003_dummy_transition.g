@@ -1,0 +1,10 @@
+# Dummy (signal-less) transitions are outside the thesis's STG class;
+# the derivation needs every transition tied to a signal edge.
+.model si003
+.inputs a
+.dummy d0
+.graph
+a+ a-
+a- a+
+.marking { <a-,a+> }
+.end

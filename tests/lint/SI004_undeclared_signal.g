@@ -1,0 +1,11 @@
+# `b` transitions appear in `.graph` but `b` is never declared; the
+# lenient parser auto-declares it as an input and reports every use.
+.model si004
+.inputs a
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end

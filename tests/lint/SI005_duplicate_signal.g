@@ -1,0 +1,12 @@
+# `a` is declared both as an input and as an output; the first
+# declaration wins and the second is reported.
+.model si005
+.inputs a
+.outputs a b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end

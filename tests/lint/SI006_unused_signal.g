@@ -1,0 +1,11 @@
+# `zz` is declared but has no transition in `.graph`.
+.model si006
+.inputs a zz
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end

@@ -1,0 +1,13 @@
+# The arc a+ -> b+ is listed twice; the parser merges the copies and
+# the linter flags the repetition.
+.model si007
+.inputs a
+.outputs b
+.graph
+a+ b+
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end

@@ -1,0 +1,10 @@
+# `a+ a+` creates an implicit place that transition a+ both consumes
+# and produces — a self-loop, which breaks the marked-graph analyses.
+.model si008
+.inputs a
+.graph
+a+ a+
+a+ a-
+a- a+
+.marking { <a-,a+> <a+,a+> }
+.end

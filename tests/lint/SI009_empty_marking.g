@@ -1,0 +1,11 @@
+# No place holds an initial token, so no transition can ever fire.
+.model si009
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { }
+.end

@@ -1,0 +1,12 @@
+# The implicit place <b-,a+> starts with two tokens; the derivation
+# requires 1-safe nets.
+.model si010
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+>=2 }
+.end

@@ -1,0 +1,16 @@
+# The main ring is marked, but p_dead can only be fed by c-, which
+# itself needs c+ — a circular wait no token ever enters, so both c
+# transitions are structurally dead.
+.model si011
+.inputs a c
+.outputs b
+.graph
+a+ b+ c+
+b+ a-
+a- b-
+b- a+
+p_dead c+
+c+ c-
+c- p_dead
+.marking { <b-,a+> }
+.end

@@ -1,0 +1,12 @@
+# The a-ring and the b-ring never synchronize: the specification
+# splits into two disconnected components.
+.model si012
+.inputs a
+.outputs b
+.graph
+a+ a-
+a- a+
+b+ b-
+b- b+
+.marking { <a-,a+> <b-,b+> }
+.end

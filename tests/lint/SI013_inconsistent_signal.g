@@ -1,0 +1,13 @@
+# Signal a rises twice (a+, a+/2) but never falls — on a marked graph
+# every transition fires once per cycle, so the trace cannot alternate
+# +/- and the STG is inconsistent.
+.model si013
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a+/2
+a+/2 b-
+b- a+
+.marking { <b-,a+> }
+.end

@@ -1,0 +1,16 @@
+# p0 chooses between a+ and b+, but b+ also waits on q — the classic
+# non-free-choice confusion that defeats Hack's MG allocation.
+.model si014
+.inputs a b
+.outputs c
+.graph
+p0 a+ b+
+q b+
+a+ c+
+b+ c+
+c+ a-
+a- b-
+b- c-
+c- p0 q
+.marking { p0 q }
+.end

@@ -1,0 +1,16 @@
+# p_join has two producers and the net has no choice anywhere: both
+# a+ and b+ always fire, so p_join collects two tokens. OR-causality
+# needs its sources separated by a choice.
+.model si015
+.inputs a b
+.outputs c
+.graph
+a+ p_join
+b+ p_join
+p_join c+
+c+ c-
+c- a- b-
+a- a+
+b- b+
+.marking { <a-,a+> <b-,b+> }
+.end

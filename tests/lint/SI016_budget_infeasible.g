@@ -1,0 +1,14 @@
+# lint-budget: 3
+# The harness reads the `lint-budget` comment above as the engine's
+# state-graph budget: four transitions already need at least four
+# states, so the derivation would exhaust the budget and fail.
+.model si016
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

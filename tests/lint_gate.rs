@@ -1,0 +1,77 @@
+//! The corpus-wide lint gate: every specification this repository ships
+//! — the thirteen Table 7.2 benchmarks, the extended circuits, and every
+//! STG embedded in the `examples/` sources — must lint with zero
+//! error-severity findings. (Warnings are allowed: e.g. `nowick` has a
+//! legitimate choice-guarded merge place, SI015.)
+//!
+//! CI runs the same gate through the `si_lint` binary; this test keeps
+//! it enforced by `cargo test` alone.
+
+use si_redress::lint;
+
+fn assert_error_free(origin: &str, text: &str) {
+    let report = lint::lint_text(text);
+    assert!(
+        !report.has_errors(),
+        "`{origin}` has lint errors:\n{}",
+        lint::render_text(&report, text, origin)
+    );
+}
+
+#[test]
+fn every_bundled_benchmark_lints_error_free() {
+    let benches = si_redress::suite::benchmarks();
+    assert_eq!(benches.len(), 13);
+    for bench in benches {
+        assert_error_free(bench.name, bench.stg_text);
+    }
+}
+
+#[test]
+fn every_extended_circuit_lints_error_free() {
+    for bench in si_redress::suite::extended() {
+        assert_error_free(bench.name, bench.stg_text);
+    }
+}
+
+/// Extracts `.model` … `.end` line runs — the same logic the `si_lint`
+/// binary applies to `.rs` inputs.
+fn embedded_blocks(source: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<Vec<&str>> = None;
+    for line in source.lines() {
+        let trimmed = line.trim();
+        if current.is_none() && trimmed.starts_with(".model") {
+            current = Some(Vec::new());
+        }
+        if let Some(block) = current.as_mut() {
+            block.push(trimmed);
+            if trimmed == ".end" {
+                blocks.push(block.join("\n") + "\n");
+                current = None;
+            }
+        }
+    }
+    blocks
+}
+
+#[test]
+fn every_example_embedded_stg_lints_error_free() {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut total = 0;
+    for entry in std::fs::read_dir(dir).expect("examples/ exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().and_then(|x| x.to_str()) != Some("rs") {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path).expect("readable example");
+        for (i, block) in embedded_blocks(&source).iter().enumerate() {
+            total += 1;
+            assert_error_free(&format!("{}#{}", path.display(), i + 1), block);
+        }
+    }
+    assert!(
+        total >= 2,
+        "expected embedded STGs in examples/, found {total}"
+    );
+}

@@ -205,3 +205,54 @@ proptest! {
         }
     }
 }
+
+/// Serializes the random ring as `.g` text — the same structure
+/// [`build`] creates in memory, but through the parser's front door, so
+/// the linter sees spans and all.
+fn astg_text(ring: &RandomRing) -> String {
+    let mut labels = Vec::new();
+    let mut seen = vec![0usize; ring.signals];
+    for &sig in &ring.order {
+        let polarity = if seen[sig] == 0 { '+' } else { '-' };
+        seen[sig] += 1;
+        labels.push(format!("s{sig}{polarity}"));
+    }
+    let slots = labels.len();
+    let mut text = String::from(".model random-ring\n.inputs");
+    for i in 0..ring.signals {
+        text.push_str(&format!(" s{i}"));
+    }
+    text.push_str("\n.graph\n");
+    for i in 0..slots {
+        text.push_str(&format!("{} {}\n", labels[i], labels[(i + 1) % slots]));
+    }
+    for &(a, b) in &ring.chords {
+        text.push_str(&format!("{} {}\n", labels[a], labels[b]));
+    }
+    text.push_str(&format!(
+        ".marking {{ <{},{}> }}\n.end\n",
+        labels[slots - 1],
+        labels[0]
+    ));
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The linter never panics on — and never reports an error-severity
+    /// finding for — a valid randomly generated marked graph. (Warnings
+    /// are possible: a duplicated random chord is reported as SI007.)
+    #[test]
+    fn linter_accepts_every_generated_ring(ring in ring_strategy()) {
+        let text = astg_text(&ring);
+        let report = si_redress::lint::lint_text(&text);
+        prop_assert!(
+            !report.has_errors(),
+            "lint errors on a valid MG:\n{}",
+            si_redress::lint::render_text(&report, &text, "random-ring.g")
+        );
+        // And the rendered forms stay well-formed (no panics either).
+        let _ = si_redress::lint::render_json(&report, "random-ring.g");
+    }
+}

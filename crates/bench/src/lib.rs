@@ -23,7 +23,8 @@ pub fn engine_metrics_line(out: &EngineReport) -> String {
     let relax = zero(Stage::Relax);
     format!(
         "engine: {} jobs, fan-out {:.2?}; project {:.2?} (memo {}h/{}m), \
-         relax {:.2?} (SG {}h/{}m, {} delta hits, {} incremental)",
+         relax {:.2?} (SG {}h/{}m, {} delta hits, {} incremental; \
+         conf {}h/{}m, {} copied)",
         out.jobs,
         out.fanout_wall,
         project.wall,
@@ -34,6 +35,9 @@ pub fn engine_metrics_line(out: &EngineReport) -> String {
         relax.sg_cache_misses,
         relax.sg_delta_hits,
         relax.sg_inc_derived,
+        relax.conf_cache_hits,
+        relax.conf_cache_misses,
+        relax.conf_inc_classified,
     )
 }
 
@@ -82,15 +86,28 @@ pub fn table_row_with(
     engine: &Engine,
     bench: &si_suite::Benchmark,
 ) -> Result<(TableRow, ConstraintReport), String> {
+    let (row, out) = table_row_report(engine, bench)?;
+    Ok((row, out.report))
+}
+
+/// [`table_row_with`] keeping the whole [`EngineReport`] — per-stage wall
+/// times and cache traffic included — for machine-readable bench output
+/// (`table_7_2 --json`).
+///
+/// # Errors
+///
+/// Propagates derivation errors as strings (harness-level reporting).
+pub fn table_row_report(
+    engine: &Engine,
+    bench: &si_suite::Benchmark,
+) -> Result<(TableRow, EngineReport), String> {
     let (stg, library) = bench
         .circuit_with_budget(engine.config().global_sg_budget)
         .map_err(|e| e.to_string())?;
     let started = std::time::Instant::now();
-    let report = engine
-        .run(&stg, &library)
-        .map_err(|e| e.to_string())?
-        .report;
+    let out = engine.run(&stg, &library).map_err(|e| e.to_string())?;
     let cpu = started.elapsed().as_secs_f64();
+    let report = &out.report;
     let oracle = AdversaryOracle::new(&stg);
 
     let within = |set: &BTreeSet<Constraint>, max: u32| {
@@ -110,7 +127,7 @@ pub fn table_row_with(
         lvl3: (within(&report.baseline, 3), within(&report.constraints, 3)),
         cpu,
     };
-    Ok((row, report))
+    Ok((row, out))
 }
 
 /// Adversary-path gate counts of the strong (gate-only) constraints of a

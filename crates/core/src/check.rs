@@ -24,7 +24,7 @@
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
-use si_stg::{Polarity, StateGraph, TransitionLabel};
+use si_stg::{Polarity, SgMap, SignalId, StateGraph, TransitionLabel};
 
 use crate::error::CoreError;
 use crate::local::LocalStg;
@@ -76,6 +76,66 @@ impl ConformanceReport {
     }
 }
 
+/// The purely *local* part of one state's conformance verdict: membership
+/// in the premature/lagging sets is a function of the state's own code,
+/// its own edge list and the shared label table only — exactly the data
+/// [`si_stg::SgMap`] guarantees unchanged for states outside the affected
+/// cone, which is what makes [`classify_states_from`] sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LocalVerdict {
+    /// Conformant here.
+    Clean,
+    /// Inside an excitation region with the triggering function false.
+    Lagging,
+    /// Excited by logic while the STG keeps the output quiescent.
+    Premature,
+}
+
+fn local_verdict(local: &LocalStg, sg: &StateGraph, s: usize) -> LocalVerdict {
+    let o = local.ctx.output;
+    let code = sg.code(s);
+    if sg.is_excited(s, o) {
+        for &(t, _) in &sg.edges[s] {
+            let l = sg.label(t);
+            if l.signal != o {
+                continue;
+            }
+            let ok = match l.polarity {
+                Polarity::Plus => local.ctx.eval_up(code),
+                Polarity::Minus => local.ctx.eval_down(code),
+            };
+            if !ok {
+                return LocalVerdict::Lagging;
+            }
+        }
+        LocalVerdict::Clean
+    } else {
+        let value = sg.value(s, o);
+        let fires_early = if value {
+            local.ctx.eval_down(code) // in QR(o+) but f↓ true
+        } else {
+            local.ctx.eval_up(code) // in QR(o-) but f↑ true
+        };
+        if fires_early {
+            LocalVerdict::Premature
+        } else {
+            LocalVerdict::Clean
+        }
+    }
+}
+
+/// The next output transition reachable from premature state `s` — the
+/// forward-path query that (unlike membership) must always be recomputed
+/// on the current graph.
+fn resolve_t_out(sg: &StateGraph, s: usize, o: SignalId, o_name: &str) -> Result<usize, CoreError> {
+    sg.next_transition_of(s, o, o_name)
+        .map_err(CoreError::from)?
+        .ok_or_else(|| CoreError::Unresolved {
+            gate: o_name.to_string(),
+            detail: format!("output never fires again from state {s}"),
+        })
+}
+
 /// Computes the conformance report of `local` against its gate covers.
 ///
 /// # Errors
@@ -84,44 +144,71 @@ impl ConformanceReport {
 /// premature state (the MG was not live).
 pub fn conformance(local: &LocalStg, sg: &StateGraph) -> Result<ConformanceReport, CoreError> {
     let o = local.ctx.output;
-    let o_name = local.mg.signal_name(o).to_string();
+    let o_name = local.mg.signal_name(o);
     let mut premature = Vec::new();
     let mut lagging = Vec::new();
-
     for s in 0..sg.state_count() {
-        let code = sg.code(s);
-        if sg.is_excited(s, o) {
-            for &(t, _) in &sg.edges[s] {
-                let l = sg.label(t);
-                if l.signal != o {
-                    continue;
-                }
-                let ok = match l.polarity {
-                    Polarity::Plus => local.ctx.eval_up(code),
-                    Polarity::Minus => local.ctx.eval_down(code),
-                };
-                if !ok {
-                    lagging.push(s);
-                    break;
+        match local_verdict(local, sg, s) {
+            LocalVerdict::Clean => {}
+            LocalVerdict::Lagging => lagging.push(s),
+            LocalVerdict::Premature => premature.push((s, resolve_t_out(sg, s, o, o_name)?)),
+        }
+    }
+    Ok(ConformanceReport { premature, lagging })
+}
+
+/// Recomputes the conformance report of `sg` by copying the per-state
+/// verdicts of `parent_report` for every state outside `map`'s affected
+/// cone and re-evaluating only the cone itself.
+///
+/// Soundness: premature/lagging *membership* is purely local (own code,
+/// own edges, shared labels — see `LocalVerdict`), and [`si_stg::SgMap`]
+/// guarantees exactly that data unchanged for unaffected states. The
+/// forward-path `t_out` of a premature state is *not* copied — it is
+/// recomputed on the current graph, so the result (including any
+/// [`CoreError::Unresolved`]) is bit-identical to a scratch
+/// [`conformance`] sweep.
+///
+/// Contract: `parent_report` must be the [`conformance`] report of the
+/// *same gate context* over the parent graph `map` was derived against.
+/// A map whose length does not match `sg` falls back to the scratch sweep.
+///
+/// # Errors
+///
+/// Exactly the errors of [`conformance`] on `sg`.
+pub fn conformance_from(
+    local: &LocalStg,
+    sg: &StateGraph,
+    parent_report: &ConformanceReport,
+    map: &SgMap,
+) -> Result<ConformanceReport, CoreError> {
+    if map.parent_of.len() != sg.state_count() || map.affected.len() != sg.state_count() {
+        return conformance(local, sg);
+    }
+    let o = local.ctx.output;
+    let o_name = local.mg.signal_name(o);
+    let parent_premature: BTreeSet<usize> =
+        parent_report.premature.iter().map(|&(s, _)| s).collect();
+    let parent_lagging: BTreeSet<usize> = parent_report.lagging.iter().copied().collect();
+    let mut premature = Vec::new();
+    let mut lagging = Vec::new();
+    for s in 0..sg.state_count() {
+        let verdict = match map.parent_of[s] {
+            Some(p) if !map.affected[s] => {
+                if parent_premature.contains(&p) {
+                    LocalVerdict::Premature
+                } else if parent_lagging.contains(&p) {
+                    LocalVerdict::Lagging
+                } else {
+                    LocalVerdict::Clean
                 }
             }
-        } else {
-            let value = sg.value(s, o);
-            let fires_early = if value {
-                local.ctx.eval_down(code) // in QR(o+) but f↓ true
-            } else {
-                local.ctx.eval_up(code) // in QR(o-) but f↑ true
-            };
-            if fires_early {
-                let t_out = sg
-                    .next_transition_of(s, o, &o_name)
-                    .map_err(CoreError::from)?
-                    .ok_or_else(|| CoreError::Unresolved {
-                        gate: o_name.clone(),
-                        detail: format!("output never fires again from state {s}"),
-                    })?;
-                premature.push((s, t_out));
-            }
+            _ => local_verdict(local, sg, s),
+        };
+        match verdict {
+            LocalVerdict::Clean => {}
+            LocalVerdict::Lagging => lagging.push(s),
+            LocalVerdict::Premature => premature.push((s, resolve_t_out(sg, s, o, o_name)?)),
         }
     }
     Ok(ConformanceReport { premature, lagging })
@@ -151,17 +238,48 @@ pub fn prerequisite_sets(local: &LocalStg) -> BTreeMap<usize, BTreeSet<Transitio
 /// Whether a transition labelled `z` can still fire before `t_out` on some
 /// path from `state` ("z* is pending": it has not yet fired in the current
 /// cycle).
+///
+/// One label, one traversal — the classification hot path uses
+/// `pending_of` instead, which resolves *all* prerequisites of a
+/// `(state, t_out)` pair in a single sweep over a reusable scratch buffer.
 pub fn is_pending(sg: &StateGraph, state: usize, z: TransitionLabel, t_out: usize) -> bool {
-    let mut seen = vec![false; sg.state_count()];
+    let mut singleton = BTreeSet::new();
+    singleton.insert(z);
+    let mut seen = Vec::new();
+    !pending_of(sg, state, t_out, &singleton, &mut seen).is_empty()
+}
+
+/// All prerequisite labels of `e` still pending before `t_out` from
+/// `state`, computed in one DFS (skipping `t_out` edges) instead of one
+/// DFS per prerequisite. `seen` is a caller-owned scratch buffer, cleared
+/// and regrown here so a classification sweep allocates it once. The
+/// result preserves `e`'s (sorted) iteration order.
+fn pending_of(
+    sg: &StateGraph,
+    state: usize,
+    t_out: usize,
+    e: &BTreeSet<TransitionLabel>,
+    seen: &mut Vec<bool>,
+) -> Vec<TransitionLabel> {
+    let mut found = BTreeSet::new();
+    if e.is_empty() {
+        return Vec::new();
+    }
+    seen.clear();
+    seen.resize(sg.state_count(), false);
     let mut stack = vec![state];
     seen[state] = true;
-    while let Some(s) = stack.pop() {
+    'dfs: while let Some(s) = stack.pop() {
         for &(t, j) in &sg.edges[s] {
             if t == t_out {
                 continue; // stop at the output transition
             }
-            if sg.label(t) == z {
-                return true;
+            let l = sg.label(t);
+            if e.contains(&l) {
+                found.insert(l);
+                if found.len() == e.len() {
+                    break 'dfs; // every prerequisite already found pending
+                }
             }
             if !seen[j] {
                 seen[j] = true;
@@ -169,7 +287,7 @@ pub fn is_pending(sg: &StateGraph, state: usize, z: TransitionLabel, t_out: usiz
             }
         }
     }
-    false
+    found.into_iter().collect()
 }
 
 /// Classifies one premature state (thesis relaxation cases 2–4).
@@ -180,13 +298,22 @@ pub fn classify_state(
     epre: &BTreeMap<usize, BTreeSet<TransitionLabel>>,
     relaxed: Option<(usize, TransitionLabel)>,
 ) -> StateClass {
+    let mut seen = Vec::new();
+    classify_state_with(sg, state, t_out, epre, relaxed, &mut seen)
+}
+
+/// [`classify_state`] over a caller-owned scratch buffer.
+fn classify_state_with(
+    sg: &StateGraph,
+    state: usize,
+    t_out: usize,
+    epre: &BTreeMap<usize, BTreeSet<TransitionLabel>>,
+    relaxed: Option<(usize, TransitionLabel)>,
+    seen: &mut Vec<bool>,
+) -> StateClass {
     let empty = BTreeSet::new();
     let e = epre.get(&t_out).unwrap_or(&empty);
-    let pending: Vec<TransitionLabel> = e
-        .iter()
-        .copied()
-        .filter(|&z| is_pending(sg, state, z, t_out))
-        .collect();
+    let pending = pending_of(sg, state, t_out, e, seen);
     if pending.is_empty() {
         return StateClass::Complete;
     }
@@ -205,6 +332,39 @@ pub fn classify_state(
     StateClass::Hazard
 }
 
+/// The four-case verdict of an already-computed conformance report: the
+/// per-state classification loop shared by [`classify_states`] and
+/// [`classify_states_from`].
+fn classify_report(
+    local: &LocalStg,
+    sg: &StateGraph,
+    epre: &BTreeMap<usize, BTreeSet<TransitionLabel>>,
+    relaxed: Option<usize>,
+    report: ConformanceReport,
+) -> (RelaxationCase, ConformanceReport) {
+    if report.is_conformant() {
+        return (RelaxationCase::Case1, report);
+    }
+    if report.premature.is_empty() {
+        return (RelaxationCase::LaggingOnly, report);
+    }
+    let relaxed_pair = relaxed.map(|x| (x, local.mg.label(x)));
+    let mut seen = Vec::new();
+    let mut any_or_causal = false;
+    for &(s, t_out) in &report.premature {
+        match classify_state_with(sg, s, t_out, epre, relaxed_pair, &mut seen) {
+            StateClass::Hazard => return (RelaxationCase::Case4, report),
+            StateClass::OrCausal => any_or_causal = true,
+            StateClass::Complete => {}
+        }
+    }
+    if any_or_causal {
+        (RelaxationCase::Case3, report)
+    } else {
+        (RelaxationCase::Case2, report)
+    }
+}
+
 /// Runs the full four-case criterion: conformance plus per-state
 /// classification (`Check` of Algorithm 4).
 ///
@@ -218,26 +378,29 @@ pub fn classify_states(
     relaxed: Option<usize>,
 ) -> Result<(RelaxationCase, ConformanceReport), CoreError> {
     let report = conformance(local, sg)?;
-    if report.is_conformant() {
-        return Ok((RelaxationCase::Case1, report));
-    }
-    if report.premature.is_empty() {
-        return Ok((RelaxationCase::LaggingOnly, report));
-    }
-    let relaxed_pair = relaxed.map(|x| (x, local.mg.label(x)));
-    let mut any_or_causal = false;
-    for &(s, t_out) in &report.premature {
-        match classify_state(sg, s, t_out, epre, relaxed_pair) {
-            StateClass::Hazard => return Ok((RelaxationCase::Case4, report)),
-            StateClass::OrCausal => any_or_causal = true,
-            StateClass::Complete => {}
-        }
-    }
-    if any_or_causal {
-        Ok((RelaxationCase::Case3, report))
-    } else {
-        Ok((RelaxationCase::Case2, report))
-    }
+    Ok(classify_report(local, sg, epre, relaxed, report))
+}
+
+/// The four-case criterion with the conformance sweep made incremental:
+/// verdicts of states outside `map`'s affected cone are copied from
+/// `parent_report` (see [`conformance_from`] for the contract and the
+/// soundness argument); only the cone is re-evaluated. Returns exactly
+/// what [`classify_states`] would — same `RelaxationCase`, same
+/// `ConformanceReport`, same errors.
+///
+/// # Errors
+///
+/// Exactly the errors of [`classify_states`] on the same inputs.
+pub fn classify_states_from(
+    local: &LocalStg,
+    sg: &StateGraph,
+    epre: &BTreeMap<usize, BTreeSet<TransitionLabel>>,
+    relaxed: Option<usize>,
+    parent_report: &ConformanceReport,
+    map: &SgMap,
+) -> Result<(RelaxationCase, ConformanceReport), CoreError> {
+    let report = conformance_from(local, sg, parent_report, map)?;
+    Ok(classify_report(local, sg, epre, relaxed, report))
 }
 
 #[cfg(test)]
@@ -418,6 +581,65 @@ o- x+
 
         let (case, _) = check_after_relax(&mut local, "x+", "z+");
         assert_eq!(case, RelaxationCase::Case4);
+    }
+
+    /// Relaxes `from ⇒ to`, derives the child SG incrementally, and checks
+    /// that verdict-copying classification equals the scratch sweep —
+    /// across all four outcome fixtures.
+    #[test]
+    fn classify_states_from_matches_scratch_across_cases() {
+        let case3 = "\
+.model case3
+.inputs x y
+.outputs o
+.graph
+x+ o+
+x+ y+
+o+ x-
+y+ x-
+x- y-
+y- o-
+o- x+
+.marking { <o-,x+> }
+.end
+";
+        let case4 = "\
+.model case4
+.inputs y z
+.outputs o
+.graph
+z+ y-
+y- z-
+z- o-
+o- y+
+y+ o+
+o+ z+
+.marking { <o+,z+> }
+.end
+";
+        let fixtures = [
+            (FIG_5_17, "o = x*y;", "x+", "y+"),
+            (case3, "o = x + y;", "x+", "y+"),
+            (case4, "o = y + z;", "z+", "y-"),
+        ];
+        for (text, eqn, from, to) in fixtures {
+            let mut local = build(text, eqn, "o");
+            let parent_mg = local.mg.clone();
+            let parent_sg = si_stg::StateGraph::of_mg(&parent_mg, 1000).expect("consistent");
+            let parent_report = conformance(&local, &parent_sg).expect("checks");
+            let epre = prerequisite_sets(&local);
+            let x = local.mg.transition_by_label(from).expect("present");
+            let y = local.mg.transition_by_label(to).expect("present");
+            relax_arc(&mut local.mg, x, y).expect("relaxes");
+            let (sg, map) = si_stg::StateGraph::of_mg_from(&parent_mg, &parent_sg, &local.mg, 1000)
+                .expect("derives");
+            let map = map.expect("single-arc relaxation is delta-eligible");
+            let scratch = classify_states(&local, &sg, &epre, Some(x)).expect("checks");
+            let incremental =
+                classify_states_from(&local, &sg, &epre, Some(x), &parent_report, &map)
+                    .expect("checks");
+            assert_eq!(incremental, scratch, "fixture {from} ⇒ {to}");
+        }
     }
 
     #[test]

@@ -32,12 +32,13 @@
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use si_boolean::{parse_eqn, GateLibrary};
 use si_stg::{parse_astg, MgStg, SignalId, StateGraph, Stg};
 
-use crate::cache::{CacheStats, ProjCache, SgCache};
+use crate::cache::{CacheStats, ConformanceCache, ProjCache, SgCache};
 use crate::check::{classify_states, prerequisite_sets, RelaxationCase};
 use crate::constraint::{Constraint, ConstraintAtom};
 use crate::error::CoreError;
@@ -105,6 +106,19 @@ pub struct EngineConfig {
     /// (keyed on component structure + output + fan-in), which makes warm
     /// runs of a circuit skip the projection sweeps entirely.
     pub memo_projection: bool,
+    /// Whether each relaxation trial's conformance classification is
+    /// *incremental*: per-state verdicts of states outside the edit's
+    /// affected cone are copied from the predecessor trial's report, and
+    /// whole verdicts of repeated trials are answered from the
+    /// [`ConformanceCache`] (the cache tier additionally requires
+    /// [`EngineConfig::cache`]). Output is bit-identical either way; the
+    /// knob exists as an escape hatch and for A/B measurement.
+    pub incremental_classify: bool,
+    /// Whether *cold* state-graph exploration uses σ-space
+    /// (firing-count-vector) keys ([`si_stg::StateGraph::of_mg_sigma`])
+    /// instead of packed-marking keys, for weakly connected MGs. Output is
+    /// bit-identical either way.
+    pub sigma_cold: bool,
     /// What to do with static-lint findings on source inputs
     /// ([`Engine::run_source`] only — [`Engine::run`] takes already-parsed
     /// inputs and never lints).
@@ -127,6 +141,8 @@ impl Default for EngineConfig {
             cache: true,
             incremental: true,
             memo_projection: true,
+            incremental_classify: true,
+            sigma_cold: true,
             lint: LintPolicy::Warn,
         }
     }
@@ -134,14 +150,17 @@ impl Default for EngineConfig {
 
 impl EngineConfig {
     /// The reference configuration: sequential, uncached, no incremental
-    /// regeneration, no projection memo — the exact code path of the
-    /// original monolithic driver. Differential tests compare every other
-    /// configuration against this one.
+    /// regeneration or classification, no projection memo, no σ-space cold
+    /// exploration — the exact code path of the original monolithic
+    /// driver. Differential tests compare every other configuration
+    /// against this one.
     pub fn reference() -> Self {
         Self {
             cache: false,
             incremental: false,
             memo_projection: false,
+            incremental_classify: false,
+            sigma_cold: false,
             lint: LintPolicy::Off,
             ..Self::default()
         }
@@ -237,6 +256,13 @@ pub struct StageMetrics {
     pub proj_memo_hits: usize,
     /// Local-STG projections computed (and stored) by the stage.
     pub proj_memo_misses: usize,
+    /// Classification verdicts answered from the conformance cache.
+    pub conf_cache_hits: usize,
+    /// Classification verdicts computed fresh by the stage.
+    pub conf_cache_misses: usize,
+    /// Fresh verdicts computed by verdict-copying incremental
+    /// classification (subset of [`StageMetrics::conf_cache_misses`]).
+    pub conf_inc_classified: usize,
 }
 
 impl StageMetrics {
@@ -251,6 +277,9 @@ impl StageMetrics {
             sg_inc_derived: 0,
             proj_memo_hits: 0,
             proj_memo_misses: 0,
+            conf_cache_hits: 0,
+            conf_cache_misses: 0,
+            conf_inc_classified: 0,
         }
     }
 }
@@ -282,6 +311,14 @@ pub struct GateMetrics {
     pub proj_memo_hits: usize,
     /// Projections computed for this gate.
     pub proj_memo_misses: usize,
+    /// Classification verdicts answered from the conformance cache for
+    /// this gate.
+    pub conf_cache_hits: usize,
+    /// Classification verdicts computed fresh for this gate.
+    pub conf_cache_misses: usize,
+    /// Fresh verdicts computed by verdict-copying incremental
+    /// classification (subset of [`GateMetrics::conf_cache_misses`]).
+    pub conf_inc_classified: usize,
 }
 
 /// The extended result of an engine run: the classic [`ConstraintReport`]
@@ -304,6 +341,8 @@ pub struct EngineReport {
     pub cache: CacheStats,
     /// Projection-memo counters accumulated over the engine's lifetime.
     pub projections: CacheStats,
+    /// Conformance-cache counters accumulated over the engine's lifetime.
+    pub conformance: CacheStats,
     /// Worker threads actually used by the fan-out.
     pub jobs: usize,
     /// Wall-clock of the whole fan-out (projection + relaxation).
@@ -325,10 +364,11 @@ struct GateRun {
     baseline: BTreeSet<Constraint>,
     outcome: ExpandOutcome,
     metrics: GateMetrics,
-    /// SG traffic of the projection phase alone — `(hits, misses,
-    /// states_explored)` — so the stage metrics can attribute the
-    /// conformance pre-check to [`Stage::Project`], not [`Stage::Relax`].
-    project_traffic: (usize, usize, usize),
+    /// Cache traffic of the projection phase alone — `(sg hits, sg
+    /// misses, states_explored, conf hits, conf misses)` — so the stage
+    /// metrics can attribute the conformance pre-check to
+    /// [`Stage::Project`], not [`Stage::Relax`].
+    project_traffic: (usize, usize, usize, usize, usize),
 }
 
 /// The staged, cacheable, parallelizable derivation pipeline.
@@ -372,7 +412,23 @@ pub struct Engine {
     config: EngineConfig,
     cache: SgCache,
     projections: ProjCache,
+    conformance: ConformanceCache,
+    decompositions: Mutex<Vec<DecomposeEntry>>,
 }
+
+/// One memoized decompose-stage result: the MG components and the global
+/// state count are pure functions of the specification (under the
+/// engine's fixed budgets), so a warm engine re-running the same [`Stg`]
+/// — batch drivers, repeated suite passes — skips the decomposition sweep
+/// and the global reachability walk. A linear scan suffices: the corpus
+/// is a dozen specifications and the derived `PartialEq` rejects
+/// non-matches on the name field first.
+type DecomposeEntry = (Stg, Arc<(Vec<MgStg>, usize)>);
+
+/// Distinct specifications memoized per engine; beyond this the stage is
+/// recomputed (never evicted mid-scan) so a pathological caller cannot
+/// grow the memo without bound.
+const DECOMPOSE_MEMO_CAP: usize = 64;
 
 impl Default for Engine {
     /// An engine under [`EngineConfig::default`] — with a live cache, as
@@ -390,15 +446,26 @@ impl Engine {
         } else {
             SgCache::disabled()
         };
+        let cache = cache.with_sigma_cold(config.sigma_cold);
         let projections = if config.memo_projection {
             ProjCache::new()
         } else {
             ProjCache::disabled()
         };
+        // The verdict cache is a reuse layer like the graph caches, so it
+        // obeys both switches: `cache` (memoize at all) and
+        // `incremental_classify` (reuse conformance work at all).
+        let conformance = if config.cache && config.incremental_classify {
+            ConformanceCache::new()
+        } else {
+            ConformanceCache::disabled()
+        };
         Self {
             config,
             cache,
             projections,
+            conformance,
+            decompositions: Mutex::new(Vec::new()),
         }
     }
 
@@ -417,10 +484,44 @@ impl Engine {
         self.projections.stats()
     }
 
-    /// Drops every memoized state graph (both tiers) and projection.
+    /// Current conformance-cache counters.
+    pub fn conformance_stats(&self) -> CacheStats {
+        self.conformance.stats()
+    }
+
+    /// Drops every memoized state graph (both tiers), projection and
+    /// classification verdict.
     pub fn clear_cache(&self) {
         self.cache.clear();
         self.projections.clear();
+        self.conformance.clear();
+        self.decompositions
+            .lock()
+            .expect("decompose memo poisoned")
+            .clear();
+    }
+
+    /// The decompose stage, memoized by specification value when the
+    /// cache is enabled. Only successes are stored; errors are recomputed
+    /// (and re-reported) every run.
+    fn decompose(&self, stg: &Stg) -> Result<Arc<(Vec<MgStg>, usize)>, CoreError> {
+        let cfg = &self.config;
+        if cfg.cache {
+            let entries = self.decompositions.lock().expect("decompose memo poisoned");
+            if let Some((_, cached)) = entries.iter().find(|(spec, _)| spec == stg) {
+                return Ok(Arc::clone(cached));
+            }
+        }
+        let components = stg.mg_components(cfg.allocation_cap)?;
+        let state_count = StateGraph::of_stg(stg, cfg.global_sg_budget)?.state_count();
+        let result = Arc::new((components, state_count));
+        if cfg.cache {
+            let mut entries = self.decompositions.lock().expect("decompose memo poisoned");
+            if entries.len() < DECOMPOSE_MEMO_CAP && !entries.iter().any(|(spec, _)| spec == stg) {
+                entries.push((stg.clone(), Arc::clone(&result)));
+            }
+        }
+        Ok(result)
     }
 
     /// Runs the pipeline from source text: parse and validate stages, then
@@ -509,8 +610,8 @@ impl Engine {
         // (the Table 7.2 state-count column).
         let t = Instant::now();
         let oracle = AdversaryOracle::new(stg);
-        let components = stg.mg_components(cfg.allocation_cap)?;
-        let state_count = StateGraph::of_stg(stg, cfg.global_sg_budget)?.state_count();
+        let decomposed = self.decompose(stg)?;
+        let (components, state_count) = (&decomposed.0, decomposed.1);
         let mut decompose_metrics = StageMetrics::timed(Stage::Decompose, t.elapsed());
         decompose_metrics.states_explored = state_count;
 
@@ -527,7 +628,7 @@ impl Engine {
         // Stages: project + relax, fanned out per gate.
         let fanout_started = Instant::now();
         let jobs = cfg.effective_jobs(gate_jobs.len());
-        let runs = self.run_gates(stg, library, &gate_jobs, &components, &oracle, jobs)?;
+        let runs = self.run_gates(stg, library, &gate_jobs, components, &oracle, jobs)?;
         let fanout_wall = fanout_started.elapsed();
 
         // Stage: merge, in gate order — bit-identical to the sequential
@@ -551,19 +652,30 @@ impl Engine {
                 baseline: run.baseline,
                 derived: run.outcome.constraints,
             });
-            let (project_hits, project_misses, project_states) = run.project_traffic;
+            let (
+                project_hits,
+                project_misses,
+                project_states,
+                project_conf_hits,
+                project_conf_misses,
+            ) = run.project_traffic;
             project_metrics.wall += run.metrics.project_wall;
             project_metrics.sg_cache_hits += project_hits;
             project_metrics.sg_cache_misses += project_misses;
             project_metrics.states_explored += project_states;
             project_metrics.proj_memo_hits += run.metrics.proj_memo_hits;
             project_metrics.proj_memo_misses += run.metrics.proj_memo_misses;
+            project_metrics.conf_cache_hits += project_conf_hits;
+            project_metrics.conf_cache_misses += project_conf_misses;
             relax_metrics.wall += run.metrics.relax_wall;
             relax_metrics.states_explored += run.metrics.states_explored - project_states;
             relax_metrics.sg_cache_hits += run.metrics.sg_cache_hits - project_hits;
             relax_metrics.sg_cache_misses += run.metrics.sg_cache_misses - project_misses;
             relax_metrics.sg_delta_hits += run.metrics.sg_delta_hits;
             relax_metrics.sg_inc_derived += run.metrics.sg_inc_derived;
+            relax_metrics.conf_cache_hits += run.metrics.conf_cache_hits - project_conf_hits;
+            relax_metrics.conf_cache_misses += run.metrics.conf_cache_misses - project_conf_misses;
+            relax_metrics.conf_inc_classified += run.metrics.conf_inc_classified;
             gates.push(run.metrics);
         }
         let merge_metrics = StageMetrics::timed(Stage::Merge, t.elapsed());
@@ -587,6 +699,7 @@ impl Engine {
             gates,
             cache: self.cache.stats(),
             projections: self.projections.stats(),
+            conformance: self.conformance.stats(),
             jobs,
             fanout_wall,
             total_wall: started.elapsed(),
@@ -661,7 +774,11 @@ impl Engine {
         let cfg = &self.config;
         let mut out = ExpandOutcome::default();
         let mut baseline: BTreeSet<Constraint> = BTreeSet::new();
-        let mut locals: Vec<(LocalStg, std::sync::Arc<StateGraph>)> = Vec::new();
+        let mut locals: Vec<(
+            LocalStg,
+            std::sync::Arc<StateGraph>,
+            crate::check::ConformanceReport,
+        )> = Vec::new();
         let mut proj_memo_hits = 0usize;
         let mut proj_memo_misses = 0usize;
 
@@ -669,7 +786,7 @@ impl Engine {
         let gate = library.gate(name).ok_or_else(|| CoreError::MissingGate {
             signal: name.clone(),
         })?;
-        let ctx = GateContext::bind(gate, stg)?;
+        let ctx = std::sync::Arc::new(GateContext::bind(gate, stg)?);
         let ctx = &ctx;
         for component in components {
             // Components that do not exercise this gate's output are
@@ -716,14 +833,31 @@ impl Engine {
                 out.states_explored += sg.state_count();
             }
             let epre = prerequisite_sets(&local);
-            let (case, _) = classify_states(&local, &sg, &epre, None)?;
+            let (case, report) = match self.conformance.lookup(&local, &epre, None) {
+                Some(v) => {
+                    out.conf_cache_hits += 1;
+                    v
+                }
+                None => {
+                    out.conf_cache_misses += 1;
+                    let (case, report) = classify_states(&local, &sg, &epre, None)?;
+                    self.conformance.store(&local, &epre, None, case, &report);
+                    (case, report)
+                }
+            };
             if case != RelaxationCase::Case1 {
                 return Err(CoreError::NotConformant { gate: name.clone() });
             }
-            locals.push((local, sg));
+            locals.push((local, sg, report));
         }
         let project_wall = project_started.elapsed();
-        let project_traffic = (out.sg_cache_hits, out.sg_cache_misses, out.states_explored);
+        let project_traffic = (
+            out.sg_cache_hits,
+            out.sg_cache_misses,
+            out.states_explored,
+            out.conf_cache_hits,
+            out.conf_cache_misses,
+        );
 
         let relax_started = Instant::now();
         let ectx = ExpandCtx {
@@ -733,12 +867,15 @@ impl Engine {
             sg_budget: cfg.local_sg_budget,
             max_depth: cfg.max_depth,
             cache: &self.cache,
+            conformance: &self.conformance,
             incremental: cfg.incremental,
+            incremental_classify: cfg.incremental_classify,
         };
-        for (local, sg) in locals {
-            // The pre-check's graph is the first predecessor: every trial
-            // after it regenerates incrementally.
-            expand_ctx(local, Some(sg), &ectx, &mut out)?;
+        for (local, sg, report) in locals {
+            // The pre-check's graph and report are the first predecessor:
+            // every trial after it regenerates — and reclassifies —
+            // incrementally.
+            expand_ctx(local, Some((sg, report)), &ectx, &mut out)?;
         }
         let relax_wall = relax_started.elapsed();
 
@@ -754,6 +891,9 @@ impl Engine {
             sg_inc_derived: out.sg_inc_derived,
             proj_memo_hits,
             proj_memo_misses,
+            conf_cache_hits: out.conf_cache_hits,
+            conf_cache_misses: out.conf_cache_misses,
+            conf_inc_classified: out.conf_inc_classified,
         };
         Ok(GateRun {
             name: name.clone(),
@@ -941,6 +1081,15 @@ b+ a+
             "second run must be fully cached: {warm_relax:?}"
         );
         assert!(warm.cache.hits > cold.cache.hits);
+        // The warm pre-check answers its verdicts from the conformance
+        // cache — no sweep at all.
+        assert!(
+            warm.conformance.hits > cold.conformance.hits,
+            "warm run must hit the conformance cache: {:?}",
+            warm.conformance
+        );
+        let warm_project = warm.stage(Stage::Project).expect("ran");
+        assert_eq!(warm_project.conf_cache_misses, 0, "{warm_project:?}");
     }
 
     #[test]

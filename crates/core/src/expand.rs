@@ -18,10 +18,13 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use si_stg::{StateGraph, TransitionLabel};
+use si_stg::{SgMap, StateGraph, TransitionLabel};
 
-use crate::cache::{SgCache, SgSource};
-use crate::check::{classify_states, conformance, prerequisite_sets, RelaxationCase};
+use crate::cache::{ConformanceCache, SgCache, SgSource};
+use crate::check::{
+    classify_states, classify_states_from, conformance, prerequisite_sets, ConformanceReport,
+    RelaxationCase,
+};
 use crate::constraint::{Constraint, ConstraintAtom};
 use crate::error::CoreError;
 use crate::local::LocalStg;
@@ -57,18 +60,25 @@ pub(crate) struct ExpandCtx<'a> {
     pub max_depth: usize,
     /// Shared memoization cache for local state graphs.
     pub cache: &'a SgCache,
+    /// Shared memoization cache for classification verdicts.
+    pub conformance: &'a ConformanceCache,
     /// Whether each trial's state graph is derived incrementally from its
     /// predecessor's (the delta path) instead of regenerated from scratch.
     pub incremental: bool,
+    /// Whether each trial's conformance sweep copies verdicts of states
+    /// outside the affected cone from the predecessor's report
+    /// ([`classify_states_from`]) instead of sweeping from scratch.
+    pub incremental_classify: bool,
 }
 
 impl<'a> ExpandCtx<'a> {
-    /// A context with the engine-default limits and a private cache.
+    /// A context with the engine-default limits and private caches.
     pub fn with_defaults(
         oracle: &'a AdversaryOracle,
         order: RelaxationOrder,
         iteration_budget: usize,
         cache: &'a SgCache,
+        conformance: &'a ConformanceCache,
     ) -> Self {
         Self {
             oracle,
@@ -77,7 +87,9 @@ impl<'a> ExpandCtx<'a> {
             sg_budget: DEFAULT_LOCAL_SG_BUDGET,
             max_depth: DEFAULT_MAX_DEPTH,
             cache,
+            conformance,
             incremental: false,
+            incremental_classify: false,
         }
     }
 
@@ -101,18 +113,20 @@ impl<'a> ExpandCtx<'a> {
     /// State graph of one relaxation trial: derived incrementally from the
     /// predecessor's graph when the engine enables it (and a predecessor
     /// is at hand), plain memoized generation otherwise. Output and errors
-    /// are identical either way.
+    /// are identical either way. The [`SgMap`] is `Some` exactly when the
+    /// graph was freshly derived through the delta path — the
+    /// correspondence incremental classification consumes.
     fn sg_step(
         &self,
         parent: &si_stg::MgStg,
         parent_sg: Option<&Arc<StateGraph>>,
         mg: &si_stg::MgStg,
         out: &mut ExpandOutcome,
-    ) -> Result<Arc<StateGraph>, CoreError> {
+    ) -> Result<(Arc<StateGraph>, Option<SgMap>), CoreError> {
         let Some(psg) = parent_sg.filter(|_| self.incremental) else {
-            return self.sg(mg, out);
+            return Ok((self.sg(mg, out)?, None));
         };
-        let (sg, source) = self.cache.of_mg_from(parent, psg, mg, self.sg_budget)?;
+        let (sg, source, map) = self.cache.of_mg_from(parent, psg, mg, self.sg_budget)?;
         match source {
             SgSource::Structural => out.sg_cache_hits += 1,
             SgSource::Delta => {
@@ -129,7 +143,39 @@ impl<'a> ExpandCtx<'a> {
                 out.states_explored += sg.state_count();
             }
         }
-        Ok(sg)
+        Ok((sg, map))
+    }
+
+    /// Classification of one trial, answered in preference order: the
+    /// conformance cache (a repeated trial — skip the sweep entirely),
+    /// verdict-copying from the predecessor's report when the incremental
+    /// path is on and a fresh delta derivation supplied the correspondence
+    /// ([`classify_states_from`]), or the scratch sweep. Output and errors
+    /// are identical in all three. Fresh verdicts are stored back; errors
+    /// never are.
+    fn classify(
+        &self,
+        trial: &LocalStg,
+        sg: &StateGraph,
+        epre: &BTreeMap<usize, BTreeSet<TransitionLabel>>,
+        relaxed: Option<usize>,
+        prev: Option<(&ConformanceReport, &SgMap)>,
+        out: &mut ExpandOutcome,
+    ) -> Result<(RelaxationCase, ConformanceReport), CoreError> {
+        if let Some(v) = self.conformance.lookup(trial, epre, relaxed) {
+            out.conf_cache_hits += 1;
+            return Ok(v);
+        }
+        out.conf_cache_misses += 1;
+        let (case, report) = match prev.filter(|_| self.incremental_classify) {
+            Some((parent_report, map)) => {
+                out.conf_inc_classified += 1;
+                classify_states_from(trial, sg, epre, relaxed, parent_report, map)?
+            }
+            None => classify_states(trial, sg, epre, relaxed)?,
+        };
+        self.conformance.store(trial, epre, relaxed, case, &report);
+        Ok((case, report))
     }
 }
 
@@ -232,6 +278,14 @@ pub struct ExpandOutcome {
     /// scratch exploration (a subset of
     /// [`ExpandOutcome::sg_cache_misses`]).
     pub sg_inc_derived: usize,
+    /// Classification verdicts answered from the conformance cache.
+    pub conf_cache_hits: usize,
+    /// Classification verdicts computed fresh (a sweep ran).
+    pub conf_cache_misses: usize,
+    /// Fresh verdicts computed by verdict-copying incremental
+    /// classification instead of a scratch sweep (a subset of
+    /// [`ExpandOutcome::conf_cache_misses`]).
+    pub conf_inc_classified: usize,
 }
 
 fn atom(local: &LocalStg, label: TransitionLabel) -> ConstraintAtom {
@@ -262,15 +316,43 @@ fn find_next_arc(
     oracle: &AdversaryOracle,
     order: RelaxationOrder,
 ) -> Option<(usize, usize)> {
-    local.relaxable_arcs().into_iter().min_by_key(|&(a, b)| {
-        let la = local.mg.label(a);
-        let lb = local.mg.label(b);
+    // Equivalent to `min_by_key` over `(weight, label_string(a),
+    // label_string(b))`, but renders label text only on weight ties and
+    // into reused buffers — this runs once per relaxation iteration over
+    // every relaxable arc, so per-arc `String`s dominate otherwise.
+    let mut best: Option<((bool, u32), (usize, usize))> = None;
+    let (mut best_a, mut best_b) = (String::new(), String::new());
+    let (mut cand_a, mut cand_b) = (String::new(), String::new());
+    for (a, b) in local.relaxable_arcs() {
         let weight = match order {
-            RelaxationOrder::TightestFirst => oracle.weight_key(la, lb),
+            RelaxationOrder::TightestFirst => {
+                oracle.weight_key(local.mg.label(a), local.mg.label(b))
+            }
             RelaxationOrder::Lexicographic => (false, 0),
         };
-        (weight, local.mg.label_string(a), local.mg.label_string(b))
-    })
+        let better = match best {
+            None => true,
+            Some((best_weight, _)) => {
+                if weight != best_weight {
+                    weight < best_weight
+                } else {
+                    cand_a.clear();
+                    cand_b.clear();
+                    local.mg.write_label(a, &mut cand_a);
+                    local.mg.write_label(b, &mut cand_b);
+                    (cand_a.as_str(), cand_b.as_str()) < (best_a.as_str(), best_b.as_str())
+                }
+            }
+        };
+        if better {
+            best_a.clear();
+            best_b.clear();
+            local.mg.write_label(a, &mut best_a);
+            local.mg.write_label(b, &mut best_b);
+            best = Some((weight, (a, b)));
+        }
+    }
+    best.map(|(_, arc)| arc)
 }
 
 /// Expands one local STG to a fixpoint, accumulating constraints into
@@ -304,18 +386,20 @@ pub fn expand_with_order(
     out: &mut ExpandOutcome,
 ) -> Result<(), CoreError> {
     let cache = SgCache::disabled();
-    let ctx = ExpandCtx::with_defaults(oracle, order, budget, &cache);
+    let conf = ConformanceCache::disabled();
+    let ctx = ExpandCtx::with_defaults(oracle, order, budget, &cache, &conf);
     expand_ctx(local, None, &ctx, out)
 }
 
 /// Expands one local STG under an explicit engine context — the entry
 /// point the staged [`crate::Engine`] uses, sharing one cache across all
-/// gates. `prev` is the state graph of `local.mg` if the caller already
-/// generated one (the conformance pre-check does); the incremental path
-/// seeds its first delta derivation from it.
+/// gates. `prev` is the state graph of `local.mg` plus its conformance
+/// report if the caller already computed them (the conformance pre-check
+/// does); the incremental paths seed their first delta derivation and
+/// verdict copy from them.
 pub(crate) fn expand_ctx(
     mut local: LocalStg,
-    prev: Option<Arc<StateGraph>>,
+    prev: Option<(Arc<StateGraph>, ConformanceReport)>,
     ctx: &ExpandCtx<'_>,
     out: &mut ExpandOutcome,
 ) -> Result<(), CoreError> {
@@ -327,12 +411,13 @@ fn expand_at(
     ctx: &ExpandCtx<'_>,
     out: &mut ExpandOutcome,
     depth: usize,
-    prev: Option<Arc<StateGraph>>,
+    prev: Option<(Arc<StateGraph>, ConformanceReport)>,
 ) -> Result<(), CoreError> {
     let gate = gate_name(local);
-    // The state graph of the current `local.mg`, threaded through the
-    // loop so every trial regenerates incrementally from its predecessor.
-    let mut prev_sg = prev;
+    // The state graph of the current `local.mg` and its conformance
+    // report, threaded through the loop so every trial regenerates — and
+    // reclassifies — incrementally from its predecessor.
+    let mut prev = prev;
     loop {
         out.iterations += 1;
         if out.iterations > ctx.iteration_budget {
@@ -344,18 +429,18 @@ fn expand_at(
         let Some((x, y)) = find_next_arc(local, ctx.oracle, ctx.order) else {
             return Ok(());
         };
-        let arc_text = format!(
-            "{} => {}",
-            local.mg.label_string(x),
-            local.mg.label_string(y)
-        );
+        let mut arc_text = String::new();
+        local.mg.write_label(x, &mut arc_text);
+        arc_text.push_str(" => ");
+        local.mg.write_label(y, &mut arc_text);
 
         // Epre is computed on the STG *before* this relaxation.
         let epre = prerequisite_sets(local);
         let mut trial = local.clone();
         relax_arc(&mut trial.mg, x, y)?;
-        let sg = ctx.sg_step(&local.mg, prev_sg.as_ref(), &trial.mg, out)?;
-        let (case, report) = classify_states(&trial, &sg, &epre, Some(x))?;
+        let (sg, map) = ctx.sg_step(&local.mg, prev.as_ref().map(|(s, _)| s), &trial.mg, out)?;
+        let prev_verdicts = prev.as_ref().map(|(_, r)| r).zip(map.as_ref());
+        let (case, report) = ctx.classify(&trial, &sg, &epre, Some(x), prev_verdicts, out)?;
         out.trace.push(TraceEvent::Relaxed {
             gate: gate.clone(),
             arc: arc_text,
@@ -372,7 +457,7 @@ fn expand_at(
         match case {
             RelaxationCase::Case1 => {
                 *local = trial;
-                prev_sg = Some(sg);
+                prev = Some((sg, report));
             }
             RelaxationCase::Case4 => {
                 emit_constraint(local, x, y, out);
@@ -384,15 +469,22 @@ fn expand_at(
                 if trial.mg.arc(x, t_out).is_some_and(|a| !a.restriction) {
                     let mut modified = trial.clone();
                     relax_arc(&mut modified.mg, x, t_out)?;
-                    let sg2 = ctx.sg_step(&trial.mg, Some(&sg), &modified.mg, out)?;
-                    let (case2, _) = classify_states(&modified, &sg2, &epre, Some(x))?;
+                    let (sg2, map2) = ctx.sg_step(&trial.mg, Some(&sg), &modified.mg, out)?;
+                    let (case2, report2) = ctx.classify(
+                        &modified,
+                        &sg2,
+                        &epre,
+                        Some(x),
+                        Some(&report).zip(map2.as_ref()),
+                        out,
+                    )?;
                     if case2 == RelaxationCase::Case1 {
                         out.trace.push(TraceEvent::MadeConcurrentWithOutput {
                             gate: gate.clone(),
                             transition: modified.mg.label_string(x),
                         });
                         *local = modified;
-                        prev_sg = Some(sg2);
+                        prev = Some((sg2, report2));
                         continue;
                     }
                     // OR-causality in case 2: decompose from the modified
@@ -404,7 +496,7 @@ fn expand_at(
                                 gate: gate.clone(),
                                 parts: subs.len(),
                             });
-                            return recurse(subs, local, x, y, ctx, out, depth, prev_sg);
+                            return recurse(subs, local, x, y, ctx, out, depth, prev);
                         }
                         None => {
                             out.trace.push(TraceEvent::Fallback {
@@ -444,7 +536,7 @@ fn expand_at(
                             gate: gate.clone(),
                             parts: subs.len(),
                         });
-                        return recurse(subs, local, x, y, ctx, out, depth, prev_sg);
+                        return recurse(subs, local, x, y, ctx, out, depth, prev);
                     }
                     None => {
                         out.trace.push(TraceEvent::Fallback {
@@ -461,8 +553,8 @@ fn expand_at(
 
 /// Recurses into sub-STGs; if any sub-STG is itself non-conformant the
 /// whole decomposition is abandoned in favour of the case-4 constraint.
-/// `prev` is the state graph of `local.mg`, handed back to the loop when
-/// a fallback resumes it.
+/// `prev` is the state graph of `local.mg` (with its conformance report),
+/// handed back to the loop when a fallback resumes it.
 #[allow(clippy::too_many_arguments)]
 fn recurse(
     subs: Vec<LocalStg>,
@@ -472,7 +564,7 @@ fn recurse(
     ctx: &ExpandCtx<'_>,
     out: &mut ExpandOutcome,
     depth: usize,
-    prev: Option<Arc<StateGraph>>,
+    prev: Option<(Arc<StateGraph>, ConformanceReport)>,
 ) -> Result<(), CoreError> {
     if depth + 1 >= ctx.max_depth {
         out.trace.push(TraceEvent::Fallback {
@@ -483,7 +575,8 @@ fn recurse(
         return expand_at(local, ctx, out, depth, prev);
     }
     // Verify conformance of each sub-STG before committing to them; keep
-    // the graphs so each sub-expansion starts with its predecessor known.
+    // the graphs (and their reports) so each sub-expansion starts with its
+    // predecessor known.
     let mut sub_sgs = Vec::with_capacity(subs.len());
     for sub in &subs {
         let sg = ctx.sg(&sub.mg, out)?;
@@ -496,10 +589,10 @@ fn recurse(
             emit_constraint(local, x, y, out);
             return expand_at(local, ctx, out, depth, prev);
         }
-        sub_sgs.push(sg);
+        sub_sgs.push((sg, rep));
     }
-    for (mut sub, sub_sg) in subs.into_iter().zip(sub_sgs) {
-        expand_at(&mut sub, ctx, out, depth + 1, Some(sub_sg))?;
+    for (mut sub, sub_prev) in subs.into_iter().zip(sub_sgs) {
+        expand_at(&mut sub, ctx, out, depth + 1, Some(sub_prev))?;
     }
     Ok(())
 }
@@ -732,7 +825,9 @@ y- x+
         expand(local.clone(), &oracle, 1000, &mut plain).expect("expands");
 
         let cache = SgCache::new();
-        let ctx = ExpandCtx::with_defaults(&oracle, RelaxationOrder::TightestFirst, 1000, &cache);
+        let conf = ConformanceCache::disabled();
+        let ctx =
+            ExpandCtx::with_defaults(&oracle, RelaxationOrder::TightestFirst, 1000, &cache, &conf);
         let mut cached = ExpandOutcome::default();
         expand_ctx(local.clone(), None, &ctx, &mut cached).expect("expands");
         assert_eq!(plain.constraints, cached.constraints);
@@ -769,12 +864,20 @@ y- x+
         expand(local.clone(), &oracle, 1000, &mut plain).expect("expands");
 
         let cache = SgCache::new();
+        let conf = ConformanceCache::disabled();
         let mut ctx =
-            ExpandCtx::with_defaults(&oracle, RelaxationOrder::TightestFirst, 1000, &cache);
+            ExpandCtx::with_defaults(&oracle, RelaxationOrder::TightestFirst, 1000, &cache, &conf);
         ctx.incremental = true;
         let (prev, _) = cache.of_mg(&local.mg, ctx.sg_budget).expect("consistent");
+        let rep = conformance(&local, &prev).expect("checks");
         let mut cold = ExpandOutcome::default();
-        expand_ctx(local.clone(), Some(Arc::clone(&prev)), &ctx, &mut cold).expect("expands");
+        expand_ctx(
+            local.clone(),
+            Some((Arc::clone(&prev), rep.clone())),
+            &ctx,
+            &mut cold,
+        )
+        .expect("expands");
         assert_eq!(plain.constraints, cold.constraints);
         assert_eq!(plain.trace, cold.trace);
         assert_eq!(plain.iterations, cold.iterations);
@@ -786,13 +889,71 @@ y- x+
         // A warm re-run of the same gate answers the edits from the delta
         // tier.
         let mut warm = ExpandOutcome::default();
-        expand_ctx(local, Some(prev), &ctx, &mut warm).expect("expands");
+        expand_ctx(local, Some((prev, rep)), &ctx, &mut warm).expect("expands");
         assert_eq!(plain.constraints, warm.constraints);
         assert_eq!(warm.sg_cache_misses, 0);
         assert!(
             warm.sg_delta_hits > 0,
             "a warm incremental run must hit the delta tier: {warm:?}"
         );
+    }
+
+    #[test]
+    fn incremental_classification_matches_plain_bit_for_bit() {
+        let text = "\
+.model and2
+.inputs x y
+.outputs o
+.graph
+x+ y+
+y+ o+
+o+ x-
+x- o-
+o- y-
+y- x+
+.marking { <y-,x+> }
+.end
+";
+        let (local, oracle) = build(text, "o = x*y;", "o");
+        let mut plain = ExpandOutcome::default();
+        expand(local.clone(), &oracle, 1000, &mut plain).expect("expands");
+
+        let cache = SgCache::new();
+        let conf = ConformanceCache::new();
+        let mut ctx =
+            ExpandCtx::with_defaults(&oracle, RelaxationOrder::TightestFirst, 1000, &cache, &conf);
+        ctx.incremental = true;
+        ctx.incremental_classify = true;
+        let (prev, _) = cache.of_mg(&local.mg, ctx.sg_budget).expect("consistent");
+        let rep = conformance(&local, &prev).expect("checks");
+        let mut cold = ExpandOutcome::default();
+        expand_ctx(
+            local.clone(),
+            Some((Arc::clone(&prev), rep.clone())),
+            &ctx,
+            &mut cold,
+        )
+        .expect("expands");
+        assert_eq!(plain.constraints, cold.constraints);
+        assert_eq!(plain.trace, cold.trace);
+        assert_eq!(plain.iterations, cold.iterations);
+        assert!(
+            cold.conf_inc_classified > 0,
+            "a cold run must reclassify through verdict copying: {cold:?}"
+        );
+
+        // A warm re-run answers every verdict from the conformance cache —
+        // no sweep at all.
+        let mut warm = ExpandOutcome::default();
+        expand_ctx(local, Some((prev, rep)), &ctx, &mut warm).expect("expands");
+        assert_eq!(plain.constraints, warm.constraints);
+        assert_eq!(plain.trace, warm.trace);
+        assert!(
+            warm.conf_cache_hits > 0,
+            "a warm run must hit the conformance cache: {warm:?}"
+        );
+        assert_eq!(warm.conf_cache_misses, 0);
+        assert_eq!(warm.conf_inc_classified, 0);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! gate's pull-up/pull-down functions (thesis Sec. 5.2–5.3).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use si_boolean::Gate;
 use si_stg::{MgStg, SignalId, Stg, TransitionLabel};
@@ -112,8 +113,10 @@ impl GateContext {
 pub struct LocalStg {
     /// The marked-graph STG being rewritten.
     pub mg: MgStg,
-    /// The gate this local environment belongs to.
-    pub ctx: GateContext,
+    /// The gate this local environment belongs to. Immutable through the
+    /// whole relaxation, and the loop clones the `LocalStg` once per trial
+    /// — shared so those clones skip the gate covers.
+    pub ctx: Arc<GateContext>,
     /// Arcs marked "guaranteed already" by a case-4 constraint.
     pub guaranteed: BTreeSet<(TransitionLabel, TransitionLabel)>,
 }
@@ -130,7 +133,7 @@ impl LocalStg {
         let mg = component.project_on_gate(ctx.output, &fanin)?;
         Ok(Self {
             mg,
-            ctx: ctx.clone(),
+            ctx: Arc::new(ctx.clone()),
             guaranteed: BTreeSet::new(),
         })
     }

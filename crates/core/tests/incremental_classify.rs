@@ -1,0 +1,175 @@
+//! Property tests for incremental conformance classification: on a random
+//! local STG and a random single-arc edit, the copy-unaffected-verdicts
+//! path ([`classify_states_from`]) must agree with the from-scratch sweep
+//! ([`classify_states`]) *exactly* — the same [`RelaxationCase`], the same
+//! [`ConformanceReport`] (premature pairs and lagging states in the same
+//! order), and the same error — under generous and tight state budgets
+//! alike. The scratch sweep is the pinned reference; any divergence here
+//! is a soundness bug in the verdict-copying path.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use si_boolean::{parse_eqn, GateLibrary};
+use si_core::{classify_states, classify_states_from, prerequisite_sets, GateContext, LocalStg};
+use si_stg::{MgStg, Polarity, SignalKind, StateGraph, Stg, TransitionLabel};
+
+/// One randomly generated local STG: `k` input signals plus one gate
+/// output `z` (a `k`-input C-element), wired as the consistent handshake
+/// ring `s0+ … s(k-1)+ z+ s0- … s(k-1)- z-` (one token on the closing
+/// arc) plus a handful of random extra arcs that may introduce
+/// concurrency, deadlock, non-conformance or inconsistency — all of which
+/// the two classification paths must report identically.
+#[derive(Debug, Clone)]
+struct RandomLocal {
+    inputs: usize,
+    extras: Vec<(usize, usize, u32)>,
+}
+
+impl RandomLocal {
+    fn build(&self) -> LocalStg {
+        let mut stg = Stg::new("prop");
+        let sigs: Vec<_> = (0..self.inputs)
+            .map(|i| stg.add_signal(format!("s{i}"), SignalKind::Input))
+            .collect();
+        let z = stg.add_signal("z", SignalKind::Output);
+        // A C-element over all inputs: z rises when every input is high,
+        // falls when every input is low, holds otherwise.
+        let and: Vec<String> = (0..self.inputs).map(|i| format!("s{i}")).collect();
+        let hold: Vec<String> = (0..self.inputs).map(|i| format!("z*s{i}")).collect();
+        let eqn = format!("z = {} + {};", and.join("*"), hold.join(" + "));
+        let netlist = parse_eqn(&eqn).expect("well-formed C-element equation");
+        let library = GateLibrary::from_netlist(&netlist);
+        let ctx = GateContext::bind(&library.gates[0], &stg).expect("binds");
+
+        let mut mg = MgStg::empty_like(&stg);
+        let mut ring = Vec::new();
+        for &s in &sigs {
+            ring.push(mg.add_transition(TransitionLabel::first(s, Polarity::Plus)));
+        }
+        ring.push(mg.add_transition(TransitionLabel::first(z, Polarity::Plus)));
+        for &s in &sigs {
+            ring.push(mg.add_transition(TransitionLabel::first(s, Polarity::Minus)));
+        }
+        ring.push(mg.add_transition(TransitionLabel::first(z, Polarity::Minus)));
+        for w in 0..ring.len() {
+            let next = (w + 1) % ring.len();
+            let tokens = u32::from(next == 0);
+            mg.insert_arc(ring[w], ring[next], tokens, false);
+        }
+        for &(a, b, tokens) in &self.extras {
+            mg.insert_arc(ring[a % ring.len()], ring[b % ring.len()], tokens, false);
+        }
+        LocalStg {
+            mg,
+            ctx: Arc::new(ctx),
+            guaranteed: BTreeSet::new(),
+        }
+    }
+}
+
+/// A single-arc edit: remove an arc, insert one, or retoken one — the
+/// same edit space the relaxation loop's trials draw from.
+#[derive(Debug, Clone)]
+enum Edit {
+    Remove(usize),
+    Insert(usize, usize, u32),
+    Retoken(usize, u32),
+}
+
+impl Edit {
+    /// Applies the edit to a clone of `local` (indices wrap over the
+    /// current arc/transition lists, so every drawn edit is applicable).
+    fn apply(&self, local: &LocalStg) -> LocalStg {
+        let mut out = local.clone();
+        let arcs: Vec<(usize, usize)> = local.mg.arcs().map(|(k, _)| k).collect();
+        let ts = local.mg.transitions();
+        match *self {
+            Edit::Remove(i) => {
+                let (a, b) = arcs[i % arcs.len()];
+                out.mg.remove_arc(a, b);
+            }
+            Edit::Insert(a, b, tokens) => {
+                out.mg
+                    .insert_arc(ts[a % ts.len()], ts[b % ts.len()], tokens, false);
+            }
+            Edit::Retoken(i, tokens) => {
+                let (a, b) = arcs[i % arcs.len()];
+                out.mg.remove_arc(a, b);
+                out.mg.insert_arc(a, b, tokens, false);
+            }
+        }
+        out
+    }
+}
+
+fn random_case() -> impl Strategy<Value = (RandomLocal, Edit, usize)> {
+    let local = (
+        2usize..=4,
+        proptest::collection::vec((0usize..12, 0usize..12, 0u32..=1), 0..4),
+    )
+        .prop_map(|(inputs, extras)| RandomLocal { inputs, extras });
+    let edit =
+        (0u8..3, 0usize..32, 0usize..32, 0u32..=2).prop_map(|(kind, a, b, tokens)| match kind {
+            0 => Edit::Remove(a),
+            1 => Edit::Insert(a, b, tokens),
+            _ => Edit::Retoken(a, tokens),
+        });
+    (local, edit, 0usize..32)
+}
+
+/// Runs one parent → edit → child round at `budget`, asserting the
+/// incremental classification reproduces the scratch one bit for bit.
+fn check_round(
+    spec: &RandomLocal,
+    edit: &Edit,
+    relaxed_idx: usize,
+    budget: usize,
+) -> Result<(), TestCaseError> {
+    let parent = spec.build();
+    let Ok(parent_sg) = StateGraph::of_mg(&parent.mg, budget) else {
+        return Ok(()); // no predecessor graph to classify from
+    };
+    let parent_epre = prerequisite_sets(&parent);
+    let Ok((_, parent_report)) = classify_states(&parent, &parent_sg, &parent_epre, None) else {
+        return Ok(()); // no parent verdicts to copy
+    };
+    let child = edit.apply(&parent);
+    let Ok((child_sg, Some(map))) =
+        StateGraph::of_mg_from(&parent.mg, &parent_sg, &child.mg, budget)
+    else {
+        return Ok(()); // error or scratch fallback: no correspondence to reuse
+    };
+    let epre = prerequisite_sets(&child);
+    let ts = child.mg.transitions();
+    for relaxed in [None, Some(ts[relaxed_idx % ts.len()])] {
+        let scratch = classify_states(&child, &child_sg, &epre, relaxed);
+        let incremental =
+            classify_states_from(&child, &child_sg, &epre, relaxed, &parent_report, &map);
+        prop_assert_eq!(&incremental, &scratch);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn incremental_classification_matches_scratch((spec, edit, relaxed_idx) in random_case()) {
+        check_round(&spec, &edit, relaxed_idx, 10_000)?;
+    }
+
+    /// Tight budgets shrink or kill the parent graph; whenever a
+    /// correspondence still exists, the verdict-copying path must keep
+    /// agreeing — including on the error values themselves.
+    #[test]
+    fn incremental_classification_matches_scratch_under_tight_budgets(
+        (spec, edit, relaxed_idx) in random_case()
+    ) {
+        for budget in [2usize, 3, 5, 9, 17, 33] {
+            check_round(&spec, &edit, relaxed_idx, budget)?;
+        }
+    }
+}

@@ -26,6 +26,6 @@ pub use parse::{
     parse_astg, parse_astg_lenient, write_astg, LenientParse, ParseAstgError, ParseErrorKind, Span,
     SpecSpans, IMEC_RAM_READ_SBUF_G,
 };
-pub use sg::{SgState, StateGraph};
+pub use sg::{SgMap, SgState, StateGraph};
 pub use signal::{Polarity, SignalId, SignalKind, TransitionLabel};
 pub use stg::{Stg, StgError, StgHealth};

@@ -8,6 +8,7 @@
 //! the Algorithm 3 shortcut-place redundancy check).
 
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::sync::Arc;
 
 use si_petri::MgComponent;
 
@@ -78,7 +79,10 @@ impl ArcDelta {
 pub struct MgStg {
     /// Model name, inherited from the source STG.
     pub name: String,
-    signals: Vec<SignalDecl>,
+    /// Shared with every clone: the signal table never changes after
+    /// construction, and the relaxation loop clones the graph once per
+    /// trial — sharing it keeps those clones off the heap.
+    signals: Arc<Vec<SignalDecl>>,
     transitions: Vec<Option<TransitionLabel>>,
     arcs: BTreeMap<(usize, usize), ArcAttr>,
     initial_code: u64,
@@ -105,7 +109,7 @@ impl MgStg {
 
         let mut mg = Self {
             name: stg.name.clone(),
-            signals: stg.signals.clone(),
+            signals: Arc::new(stg.signals.clone()),
             transitions: Vec::new(),
             arcs: BTreeMap::new(),
             initial_code,
@@ -301,7 +305,26 @@ impl MgStg {
 
     /// Renders transition `t`'s label (`req+`, `csc0-/2`).
     pub fn label_string(&self, t: usize) -> String {
-        self.label(t).display(&self.signal_names()).to_string()
+        let mut s = String::new();
+        self.write_label(t, &mut s);
+        s
+    }
+
+    /// Appends transition `t`'s rendered label to `buf` — the same text as
+    /// [`MgStg::label_string`] without cloning the signal-name table, so
+    /// hot loops can reuse one buffer across many renders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is dead or out of range.
+    pub fn write_label(&self, t: usize, buf: &mut String) {
+        use std::fmt::Write;
+        let l = self.label(t);
+        buf.push_str(self.signal_name(l.signal));
+        let _ = write!(buf, "{}", l.polarity);
+        if l.occurrence != 1 {
+            let _ = write!(buf, "/{}", l.occurrence);
+        }
     }
 
     /// Finds an alive transition by rendered label.
@@ -322,7 +345,7 @@ impl MgStg {
     pub fn empty_like(stg: &Stg) -> Self {
         Self {
             name: stg.name.clone(),
-            signals: stg.signals.clone(),
+            signals: Arc::new(stg.signals.clone()),
             transitions: Vec::new(),
             arcs: BTreeMap::new(),
             initial_code: 0,
@@ -656,7 +679,7 @@ mod tests {
         let o = stg.add_signal("o", SignalKind::Output);
         let mut mg = MgStg {
             name: "sr".into(),
-            signals: stg.signals.clone(),
+            signals: Arc::new(stg.signals.clone()),
             transitions: Vec::new(),
             arcs: BTreeMap::new(),
             initial_code: 0,
@@ -730,7 +753,7 @@ mod tests {
         let y = stg.add_signal("y", SignalKind::Input);
         let mut mg = MgStg {
             name: "fig514a".into(),
-            signals: stg.signals.clone(),
+            signals: Arc::new(stg.signals.clone()),
             transitions: Vec::new(),
             arcs: BTreeMap::new(),
             initial_code: 0,
@@ -762,7 +785,7 @@ mod tests {
         let b = stg.add_signal("b", SignalKind::Input);
         let mut mg = MgStg {
             name: "fig514b".into(),
-            signals: stg.signals.clone(),
+            signals: Arc::new(stg.signals.clone()),
             transitions: Vec::new(),
             arcs: BTreeMap::new(),
             initial_code: 0,
@@ -798,7 +821,7 @@ mod tests {
         let x = stg.add_signal("x", SignalKind::Input);
         let mut mg = MgStg {
             name: "unsafe".into(),
-            signals: stg.signals.clone(),
+            signals: Arc::new(stg.signals.clone()),
             transitions: Vec::new(),
             arcs: BTreeMap::new(),
             initial_code: 0,

@@ -6,7 +6,13 @@
 //! derives the successor state graph of a single-arc edit from the
 //! predecessor's graph, re-exploring only the cone of states whose
 //! enabling conditions the edit can affect, while reproducing the scratch
-//! generator's output — including its failures — bit for bit.
+//! generator's output — including its failures — bit for bit. It also
+//! returns the parent↔child state correspondence and the affected cone as
+//! an [`SgMap`], so downstream per-state analyses (the conformance sweep)
+//! can reuse the unaffected states' verdicts. For *cold* exploration of
+//! weakly connected marked graphs, [`StateGraph::of_mg_sigma`] replaces
+//! the packed-marking state keys with the cheaper normalized
+//! firing-count-vector (σ-space) keys the delta path already uses.
 
 use std::collections::HashMap;
 
@@ -30,6 +36,72 @@ fn normalized(sigma: &[i64], alive: &[usize]) -> Vec<i64> {
         v[t] -= min;
     }
     v
+}
+
+/// The parent↔child state correspondence and the *affected cone* of one
+/// incremental derivation ([`StateGraph::of_mg_from`]).
+///
+/// The correspondence identifies states by normalized firing-count class:
+/// `parent_of[i]` is the predecessor state whose firing counts equal child
+/// state `i`'s (it is a partial bijection — both graphs dedup states by
+/// the same key).
+///
+/// The affected cone is the contract downstream verdict reuse rests on:
+/// `affected[i]` is `false` only when child state `i` has a parent
+/// counterpart `p = parent_of[i]` with the **same binary code and the
+/// same edge list** — elementwise equal transition ids, with each
+/// successor pair related by the correspondence — and the two graphs
+/// share their transition-label table. Every *local* per-state verdict
+/// (a function of the state's code, its own outgoing edges and the shared
+/// labels — excitedness, cover evaluation, premature/lagging membership)
+/// therefore coincides between `i` and `p` whenever `affected[i]` is
+/// `false`. Verdicts that traverse *paths* (next-transition-to-fire,
+/// pending-ness) are **not** covered by the contract and must be
+/// recomputed by the consumer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SgMap {
+    /// `parent_of[i]` = the parent state sharing child state `i`'s
+    /// normalized firing-count class, if any.
+    pub parent_of: Vec<Option<usize>>,
+    /// Whether child state `i` is in the affected cone (no parent
+    /// counterpart, or its code/edge list differs from the counterpart's
+    /// under the correspondence).
+    pub affected: Vec<bool>,
+}
+
+impl SgMap {
+    /// Number of states outside the affected cone (whose local verdicts
+    /// the correspondence makes reusable).
+    pub fn unaffected_count(&self) -> usize {
+        self.affected.iter().filter(|&&a| !a).count()
+    }
+
+    /// Derives the cone from the exploration's correspondence vector:
+    /// child state `i` is affected iff it has no counterpart, the label
+    /// tables differ, its code differs, or its edge list differs
+    /// elementwise (transition ids, and successors related by
+    /// `parent_of`).
+    fn derive(child: &StateGraph, parent: &StateGraph, parent_of: Vec<Option<usize>>) -> Self {
+        let labels_match = child.labels == parent.labels;
+        let affected = (0..child.states.len())
+            .map(|i| match parent_of[i] {
+                None => true,
+                Some(p) => {
+                    !labels_match
+                        || child.states[i].code != parent.states[p].code
+                        || child.edges[i].len() != parent.edges[p].len()
+                        || child.edges[i]
+                            .iter()
+                            .zip(&parent.edges[p])
+                            .any(|(&(t, j), &(pt, pj))| t != pt || parent_of[j] != Some(pj))
+                }
+            })
+            .collect();
+        Self {
+            parent_of,
+            affected,
+        }
+    }
 }
 
 /// One state of a [`StateGraph`]: a reachable marking labelled with the
@@ -150,11 +222,12 @@ impl StateGraph {
     /// `StateGraph::of_mg(mg, budget)` — same state indexing, same edge
     /// order — and every failure (consistency violation, budget
     /// exhaustion) is the error the scratch run would report, raised at
-    /// the same point of the exploration. The returned boolean is `true`
-    /// when the delta-guided path ran; `false` means the inputs were
-    /// ineligible (different alive-transition sets, or an arc skeleton
-    /// that is not weakly connected) and the result came from a scratch
-    /// generation.
+    /// the same point of the exploration. The returned [`SgMap`] carries
+    /// the parent↔child state correspondence the delta path builds
+    /// internally plus the affected cone (see [`SgMap`] for the exact
+    /// reuse contract); it is `None` when the inputs were ineligible
+    /// (different alive-transition sets, or an arc skeleton that is not
+    /// weakly connected) and the result came from a scratch generation.
     ///
     /// The delta-guided path identifies states by *normalized firing-count
     /// vectors* instead of full markings: in a weakly connected marked
@@ -175,10 +248,10 @@ impl StateGraph {
         parent_sg: &StateGraph,
         mg: &MgStg,
         budget: usize,
-    ) -> Result<(Self, bool), StgError> {
+    ) -> Result<(Self, Option<SgMap>), StgError> {
         let alive = mg.transitions();
         if parent.transitions() != alive || !mg.arcs_weakly_connected() {
-            return Ok((Self::of_mg(mg, budget)?, false));
+            return Ok((Self::of_mg(mg, budget)?, None));
         }
         let nt = alive.last().copied().expect("connected implies non-empty") + 1;
 
@@ -324,14 +397,116 @@ impl StateGraph {
                 edges[i].push((t, j));
             }
         }
-        Ok((
-            Self {
-                states,
-                edges,
-                labels,
-            },
-            true,
-        ))
+        let sg = Self {
+            states,
+            edges,
+            labels,
+        };
+        let map = SgMap::derive(&sg, parent_sg, mapped);
+        Ok((sg, Some(map)))
+    }
+
+    /// Generates the state graph of a *weakly connected* marked-graph STG
+    /// using normalized firing-count vectors (σ-space) as state keys — the
+    /// cheaper identification [`StateGraph::of_mg_from`] already uses for
+    /// its delta path, applied to cold (no-predecessor) exploration. In a
+    /// weakly connected marked graph a reachable marking determines the
+    /// firing counts up to a constant shift, so the normalized vector is a
+    /// faithful state key; enabledness reduces to the per-arc test
+    /// `tokens + σ(src) − σ(dst) > 0`, with no marking maps cloned per
+    /// state.
+    ///
+    /// The output contract is exact equivalence with [`StateGraph::of_mg`]:
+    /// the same LIFO frontier and ascending transition order visit the
+    /// same states under either key, so the returned graph — and every
+    /// failure, raised at the same exploration point — is bit-identical.
+    /// Inputs that are not weakly connected fall back to
+    /// [`StateGraph::of_mg`] transparently.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`StateGraph::of_mg`] under `budget`.
+    pub fn of_mg_sigma(mg: &MgStg, budget: usize) -> Result<Self, StgError> {
+        if !mg.arcs_weakly_connected() {
+            return Self::of_mg(mg, budget);
+        }
+        let alive = mg.transitions();
+        let nt = alive.last().copied().expect("connected implies non-empty") + 1;
+        let mut labels: Vec<Option<TransitionLabel>> = Vec::new();
+        for &t in &alive {
+            while labels.len() <= t {
+                labels.push(None);
+            }
+            labels[t] = Some(mg.label(t));
+        }
+        let mut preds_of: Vec<Vec<(usize, i64)>> = vec![Vec::new(); nt];
+        for ((a, b), attr) in mg.arcs() {
+            preds_of[b].push((a, i64::from(attr.tokens)));
+        }
+
+        let mut index: HashMap<Vec<i64>, usize> = HashMap::new();
+        let mut sigma: Vec<Vec<i64>> = vec![vec![0i64; nt]];
+        let mut states = vec![SgState {
+            code: mg.initial_code(),
+        }];
+        let mut edges: Vec<Vec<(usize, usize)>> = vec![Vec::new()];
+        index.insert(normalized(&sigma[0], &alive), 0);
+        let mut frontier = vec![0usize];
+
+        while let Some(i) = frontier.pop() {
+            let code = states[i].code;
+            for &t in &alive {
+                let enabled = {
+                    let s = &sigma[i];
+                    preds_of[t].iter().all(|&(a, tok)| tok + s[a] - s[t] > 0)
+                };
+                if !enabled {
+                    continue;
+                }
+                let label = mg.label(t);
+                let bit = 1u64 << label.signal.0;
+                let before = code & bit != 0;
+                if before == label.polarity.target_value() {
+                    return Err(StgError::Inconsistent {
+                        signal: mg.signal_name(label.signal).to_string(),
+                    });
+                }
+                let next_code = code ^ bit;
+                let mut s2 = sigma[i].clone();
+                s2[t] += 1;
+                let key = normalized(&s2, &alive);
+                let j = match index.get(&key) {
+                    Some(&j) => {
+                        if states[j].code != next_code {
+                            return Err(StgError::Inconsistent {
+                                signal: mg.signal_name(label.signal).to_string(),
+                            });
+                        }
+                        j
+                    }
+                    None => {
+                        if states.len() >= budget {
+                            return Err(StgError::Petri(
+                                si_petri::PetriError::StateBudgetExceeded { budget },
+                            ));
+                        }
+                        let j = states.len();
+                        index.insert(key, j);
+                        sigma.push(s2);
+                        states.push(SgState { code: next_code });
+                        edges.push(Vec::new());
+                        frontier.push(j);
+                        j
+                    }
+                };
+                edges[i].push((t, j));
+            }
+        }
+        Ok(Self {
+            states,
+            edges,
+            labels,
+        })
     }
 
     /// Generates the state graph of a full (possibly free-choice) STG.
@@ -737,9 +912,9 @@ o- x+
         let (parent, child) = chain_and_relaxed();
         let parent_sg = StateGraph::of_mg(&parent, 1000).expect("consistent");
         let scratch = StateGraph::of_mg(&child, 1000).expect("consistent");
-        let (inc, delta_path) =
+        let (inc, map) =
             StateGraph::of_mg_from(&parent, &parent_sg, &child, 1000).expect("derives");
-        assert!(delta_path, "a relaxation edit must take the delta path");
+        let map = map.expect("a relaxation edit must take the delta path");
         assert_eq!(inc, scratch);
         assert!(
             inc.state_count() > parent_sg.state_count(),
@@ -747,6 +922,32 @@ o- x+
             inc.state_count(),
             parent_sg.state_count()
         );
+        assert_sg_map_contract(&inc, &parent_sg, &map);
+    }
+
+    /// Checks the [`SgMap`] reuse contract against its definition: every
+    /// unaffected child state has a parent counterpart with the same code
+    /// and an elementwise-identical edge list under the correspondence.
+    fn assert_sg_map_contract(child: &StateGraph, parent: &StateGraph, map: &SgMap) {
+        assert_eq!(map.parent_of.len(), child.state_count());
+        assert_eq!(map.affected.len(), child.state_count());
+        for i in 0..child.state_count() {
+            if map.affected[i] {
+                continue;
+            }
+            let p = map.parent_of[i].expect("unaffected implies mapped");
+            assert_eq!(child.states[i].code, parent.states[p].code, "state {i}");
+            assert_eq!(
+                child.edges[i].len(),
+                parent.edges[p].len(),
+                "state {i} edge count"
+            );
+            for (&(t, j), &(pt, pj)) in child.edges[i].iter().zip(&parent.edges[p]) {
+                assert_eq!(t, pt, "state {i}");
+                assert_eq!(map.parent_of[j], Some(pj), "state {i} successor");
+                assert_eq!(child.label(t), parent.label(pt), "state {i} label");
+            }
+        }
     }
 
     #[test]
@@ -765,10 +966,12 @@ o- x+
         child.insert_arc(ackm, reqp, 0, false);
         child.set_initial_code(1);
         let scratch = StateGraph::of_mg(&child, 100).expect("consistent");
-        let (inc, delta_path) =
-            StateGraph::of_mg_from(&mg, &parent_sg, &child, 100).expect("derives");
-        assert!(delta_path);
+        let (inc, map) = StateGraph::of_mg_from(&mg, &parent_sg, &child, 100).expect("derives");
+        let map = map.expect("delta path");
         assert_eq!(inc, scratch);
+        assert_sg_map_contract(&inc, &parent_sg, &map);
+        // The token move shifts every code, so no verdict is reusable.
+        assert_eq!(map.unaffected_count(), 0);
     }
 
     #[test]
@@ -814,10 +1017,48 @@ o- x+
         child.insert_arc(ackp, ackm, 0, false);
         child.insert_arc(ackm, ackp, 1, false);
         let scratch = StateGraph::of_mg(&child, 100).expect("consistent");
-        let (inc, delta_path) =
-            StateGraph::of_mg_from(&mg, &parent_sg, &child, 100).expect("derives");
-        assert!(!delta_path, "a removed transition must force the fallback");
+        let (inc, map) = StateGraph::of_mg_from(&mg, &parent_sg, &child, 100).expect("derives");
+        assert!(
+            map.is_none(),
+            "a removed transition must force the fallback"
+        );
         assert_eq!(inc, scratch);
+    }
+
+    #[test]
+    fn sg_map_leaves_undisturbed_states_unaffected() {
+        // A redundant ordering arc (req+ ⇒ req-) changes no reachable
+        // behaviour: every state keeps its code and edge list, so the
+        // affected cone must be empty and the correspondence total.
+        let (_, mg) = handshake_mg();
+        let parent_sg = StateGraph::of_mg(&mg, 100).expect("consistent");
+        let reqp = mg.transition_by_label("req+").expect("present");
+        let reqm = mg.transition_by_label("req-").expect("present");
+        let mut child = mg.clone();
+        child.insert_arc(reqp, reqm, 0, false);
+        let (inc, map) = StateGraph::of_mg_from(&mg, &parent_sg, &child, 100).expect("derives");
+        let map = map.expect("delta path");
+        assert_eq!(inc, StateGraph::of_mg(&child, 100).expect("consistent"));
+        assert_eq!(map.unaffected_count(), inc.state_count());
+        assert_sg_map_contract(&inc, &parent_sg, &map);
+    }
+
+    #[test]
+    fn sigma_cold_generation_matches_marking_keyed_generation() {
+        let (_, mg) = handshake_mg();
+        let (parent, child) = chain_and_relaxed();
+        for mg in [&mg, &parent, &child] {
+            assert_eq!(
+                StateGraph::of_mg_sigma(mg, 1000).expect("consistent"),
+                StateGraph::of_mg(mg, 1000).expect("consistent")
+            );
+        }
+        // Budget and consistency failures replay at the same point.
+        for budget in 1..=10 {
+            let scratch = StateGraph::of_mg(&child, budget);
+            let sigma = StateGraph::of_mg_sigma(&child, budget);
+            assert_eq!(sigma, scratch, "budget {budget}");
+        }
     }
 
     #[test]

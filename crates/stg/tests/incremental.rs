@@ -110,6 +110,58 @@ proptest! {
         prop_assert_eq!(incremental, scratch);
     }
 
+    /// The [`si_stg::SgMap`] reuse contract: every state outside the
+    /// affected cone has a parent counterpart with the same code and an
+    /// elementwise-identical edge list under the correspondence — the
+    /// exact precondition incremental conformance classification rests on.
+    #[test]
+    fn sg_map_unaffected_states_reproduce_their_parent((spec, edit) in random_case()) {
+        let parent = spec.build();
+        let Ok(parent_sg) = StateGraph::of_mg(&parent, 10_000) else {
+            return Ok(());
+        };
+        let child = edit.apply(&parent);
+        let Ok((child_sg, Some(map))) =
+            StateGraph::of_mg_from(&parent, &parent_sg, &child, 10_000) else {
+            return Ok(()); // error or scratch fallback: no map to check
+        };
+        prop_assert_eq!(map.parent_of.len(), child_sg.state_count());
+        prop_assert_eq!(map.affected.len(), child_sg.state_count());
+        for i in 0..child_sg.state_count() {
+            if map.affected[i] {
+                continue;
+            }
+            let p = map.parent_of[i].expect("unaffected implies mapped");
+            prop_assert_eq!(child_sg.states[i].code, parent_sg.states[p].code);
+            prop_assert_eq!(child_sg.edges[i].len(), parent_sg.edges[p].len());
+            for (&(t, j), &(pt, pj)) in child_sg.edges[i].iter().zip(&parent_sg.edges[p]) {
+                prop_assert_eq!(t, pt);
+                prop_assert_eq!(map.parent_of[j], Some(pj));
+                prop_assert_eq!(child_sg.label(t), parent_sg.label(pt));
+            }
+        }
+    }
+
+    /// σ-space cold exploration must agree with the marking-keyed scratch
+    /// generator exactly — Ok and Err alike, generous and tight budgets.
+    #[test]
+    fn sigma_cold_matches_scratch((spec, edit) in random_case()) {
+        let parent = spec.build();
+        let child = edit.apply(&parent);
+        for mg in [&parent, &child] {
+            prop_assert_eq!(
+                StateGraph::of_mg_sigma(mg, 10_000),
+                StateGraph::of_mg(mg, 10_000)
+            );
+            for budget in [1usize, 2, 3, 5, 9, 17] {
+                prop_assert_eq!(
+                    StateGraph::of_mg_sigma(mg, budget),
+                    StateGraph::of_mg(mg, budget)
+                );
+            }
+        }
+    }
+
     #[test]
     fn incremental_replays_tight_budget_failures_exactly((spec, edit) in random_case()) {
         let parent = spec.build();

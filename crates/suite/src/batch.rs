@@ -7,13 +7,45 @@
 //! STGs share entries), and a single `jobs` knob parallelizes every
 //! circuit's per-gate fan-out.
 
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 
 use si_core::{CoreError, Engine, EngineReport, LintPolicy};
 use si_lint::{LintOptions, LintReport};
 
 use crate::{benchmarks, Benchmark, LoadBenchmarkError};
+
+/// Memoized lint pre-flights: linting is a pure function of the (static)
+/// source text and the state budget, so repeated batch passes over the
+/// bundled corpus reuse the findings instead of re-walking the lenient
+/// parse. Bounded like the circuit memo.
+fn lint_memo() -> &'static Mutex<HashMap<(&'static str, usize), LintReport>> {
+    static MEMO: OnceLock<Mutex<HashMap<(&'static str, usize), LintReport>>> = OnceLock::new();
+    MEMO.get_or_init(Mutex::default)
+}
+
+const LINT_MEMO_CAP: usize = 64;
+
+fn lint_cached(stg_text: &'static str, budget: usize) -> LintReport {
+    if let Some(cached) = lint_memo()
+        .lock()
+        .expect("lint memo poisoned")
+        .get(&(stg_text, budget))
+    {
+        return cached.clone();
+    }
+    let opts = LintOptions {
+        state_budget: Some(budget),
+    };
+    let report = si_lint::lint_text_with(stg_text, &opts);
+    let mut memo = lint_memo().lock().expect("lint memo poisoned");
+    if memo.len() < LINT_MEMO_CAP {
+        memo.insert((stg_text, budget), report.clone());
+    }
+    report
+}
 
 /// One benchmark's result in a batch run.
 #[derive(Debug, Clone)]
@@ -89,10 +121,7 @@ pub fn run_benchmark(engine: &Engine, bench: &Benchmark) -> Result<BatchEntry, B
     let lint = if policy == LintPolicy::Off {
         LintReport::default()
     } else {
-        let opts = LintOptions {
-            state_budget: Some(engine.config().global_sg_budget),
-        };
-        si_lint::lint_text_with(bench.stg_text, &opts)
+        lint_cached(bench.stg_text, engine.config().global_sg_budget)
     };
     if policy == LintPolicy::Deny && lint.has_errors() {
         return Err(BatchError::Lint {

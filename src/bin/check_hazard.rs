@@ -41,6 +41,15 @@ OPTIONS:
         --no-incremental  regenerate every relaxation trial's state graph
                           from scratch instead of deriving it from its
                           predecessor's (escape hatch; output is identical)
+        --no-incremental-classify
+                          re-classify every state of every trial from
+                          scratch instead of copying verdicts of states
+                          the edit did not touch, and disable the
+                          conformance verdict cache (escape hatch; output
+                          is identical)
+        --no-sigma-cold   explore cold state graphs in the classic
+                          marking space instead of the σ (firing count)
+                          space (escape hatch; output is identical)
         --no-memo         disable the local-STG projection memo
     -h, --help            print this help and exit
 
@@ -102,6 +111,8 @@ fn parse_args(argv: &[String]) -> ArgsOutcome {
             },
             "--no-cache" => config.cache = false,
             "--no-incremental" => config.incremental = false,
+            "--no-incremental-classify" => config.incremental_classify = false,
+            "--no-sigma-cold" => config.sigma_cold = false,
             "--no-memo" => config.memo_projection = false,
             flag if flag.starts_with('-') => {
                 return ArgsOutcome::Error(format!("unknown option `{flag}`"))
@@ -253,7 +264,7 @@ fn render_json(out: &EngineReport, elapsed: f64) -> String {
     };
     let stages = json_list(&out.stages, |s| {
         format!(
-            "{{\"stage\":{},\"wall_us\":{},\"states_explored\":{},\"sg_cache_hits\":{},\"sg_cache_misses\":{},\"sg_delta_hits\":{},\"sg_inc_derived\":{},\"proj_memo_hits\":{},\"proj_memo_misses\":{}}}",
+            "{{\"stage\":{},\"wall_us\":{},\"states_explored\":{},\"sg_cache_hits\":{},\"sg_cache_misses\":{},\"sg_delta_hits\":{},\"sg_inc_derived\":{},\"proj_memo_hits\":{},\"proj_memo_misses\":{},\"conf_cache_hits\":{},\"conf_cache_misses\":{},\"conf_inc_classified\":{}}}",
             json_str(s.stage.name()),
             s.wall.as_micros(),
             s.states_explored,
@@ -263,11 +274,14 @@ fn render_json(out: &EngineReport, elapsed: f64) -> String {
             s.sg_inc_derived,
             s.proj_memo_hits,
             s.proj_memo_misses,
+            s.conf_cache_hits,
+            s.conf_cache_misses,
+            s.conf_inc_classified,
         )
     });
     let gates = json_list(&out.gates, |g| {
         format!(
-            "{{\"gate\":{},\"project_us\":{},\"relax_us\":{},\"iterations\":{},\"states_explored\":{},\"sg_cache_hits\":{},\"sg_cache_misses\":{},\"sg_delta_hits\":{},\"sg_inc_derived\":{},\"proj_memo_hits\":{},\"proj_memo_misses\":{}}}",
+            "{{\"gate\":{},\"project_us\":{},\"relax_us\":{},\"iterations\":{},\"states_explored\":{},\"sg_cache_hits\":{},\"sg_cache_misses\":{},\"sg_delta_hits\":{},\"sg_inc_derived\":{},\"proj_memo_hits\":{},\"proj_memo_misses\":{},\"conf_cache_hits\":{},\"conf_cache_misses\":{},\"conf_inc_classified\":{}}}",
             json_str(&g.gate),
             g.project_wall.as_micros(),
             g.relax_wall.as_micros(),
@@ -279,6 +293,9 @@ fn render_json(out: &EngineReport, elapsed: f64) -> String {
             g.sg_inc_derived,
             g.proj_memo_hits,
             g.proj_memo_misses,
+            g.conf_cache_hits,
+            g.conf_cache_misses,
+            g.conf_inc_classified,
         )
     });
     let lint = format!(
@@ -288,7 +305,7 @@ fn render_json(out: &EngineReport, elapsed: f64) -> String {
         si_lint::json_diagnostics(&out.lint, ""),
     );
     format!(
-        "{{\"baseline\":{},\"constraints\":{},\"hazard\":{},\"state_count\":{},\"iterations\":{},\"jobs\":{},\"lint\":{},\"stages\":{},\"gates\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"delta_hits\":{},\"delta_entries\":{},\"inc_derived\":{}}},\"projections\":{{\"hits\":{},\"misses\":{},\"entries\":{}}},\"fanout_wall_us\":{},\"total_wall_us\":{},\"elapsed_seconds\":{elapsed:.6}}}",
+        "{{\"baseline\":{},\"constraints\":{},\"hazard\":{},\"state_count\":{},\"iterations\":{},\"jobs\":{},\"lint\":{},\"stages\":{},\"gates\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"delta_hits\":{},\"delta_entries\":{},\"inc_derived\":{}}},\"projections\":{{\"hits\":{},\"misses\":{},\"entries\":{}}},\"conformance\":{{\"hits\":{},\"misses\":{},\"entries\":{}}},\"fanout_wall_us\":{},\"total_wall_us\":{},\"elapsed_seconds\":{elapsed:.6}}}",
         constraints(&out.report.baseline),
         constraints(&out.report.constraints),
         !out.report.constraints.is_empty(),
@@ -307,6 +324,9 @@ fn render_json(out: &EngineReport, elapsed: f64) -> String {
         out.projections.hits,
         out.projections.misses,
         out.projections.entries,
+        out.conformance.hits,
+        out.conformance.misses,
+        out.conformance.entries,
         out.fanout_wall.as_micros(),
         out.total_wall.as_micros(),
     )

@@ -118,6 +118,8 @@ fn check_hazard_help_exits_zero() {
         assert!(stdout.contains("--jobs"));
         assert!(stdout.contains("--format"));
         assert!(stdout.contains("--lint"));
+        assert!(stdout.contains("--no-incremental-classify"));
+        assert!(stdout.contains("--no-sigma-cold"));
         assert!(stdout.contains("EXIT CODES"));
     }
 }
@@ -178,8 +180,11 @@ fn check_hazard_parallel_json_reports_the_gold_circuit() {
     assert_eq!(stdout.matches(" < ").count(), 31);
     assert!(stdout.contains("\"cache\":{"));
     assert!(stdout.contains("\"projections\":{"));
+    assert!(stdout.contains("\"conformance\":{"));
     assert!(stdout.contains("\"sg_delta_hits\""));
     assert!(stdout.contains("\"proj_memo_hits\""));
+    assert!(stdout.contains("\"conf_cache_hits\""));
+    assert!(stdout.contains("\"conf_inc_classified\""));
 
     let _ = std::fs::remove_file(stg_path);
     let _ = std::fs::remove_file(eqn_path);
@@ -218,6 +223,9 @@ fn check_hazard_text_output_is_identical_across_jobs_and_cache_settings() {
     // must not change a single constraint line either.
     let scratch = constraint_lines(&["--no-incremental", "--no-memo"]);
     assert_eq!(sequential, scratch);
+    // Nor the incremental-classification and σ-space escape hatches.
+    let classic = constraint_lines(&["--no-incremental-classify", "--no-sigma-cold"]);
+    assert_eq!(sequential, classic);
     let fully_reused = constraint_lines(&[]);
     assert_eq!(sequential, fully_reused);
     // Neither must the strict lint pre-flight (the spec is clean).
@@ -253,6 +261,13 @@ fn check_hazard_bench_mode_runs_bundled_circuits() {
     // hatch must print identical reports.
     let scratch = constraint_lines(&["--bench", "imec-ram-read-sbuf", "--no-incremental"]);
     assert_eq!(default, scratch);
+    let classic = constraint_lines(&[
+        "--bench",
+        "imec-ram-read-sbuf",
+        "--no-incremental-classify",
+        "--no-sigma-cold",
+    ]);
+    assert_eq!(default, classic);
 
     // Unknown names are runtime errors (2); mixing --bench with paths is
     // a usage error (3).

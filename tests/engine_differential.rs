@@ -31,38 +31,44 @@ fn parallel_memoized_engine_is_bit_identical_to_the_sequential_uncached_path() {
 
 #[test]
 fn every_reuse_layer_configuration_is_bit_identical_to_the_reference() {
-    // {incremental} × {memo_projection} × {cache} × {jobs 1, jobs 4},
-    // cold and warm: 16 configurations per benchmark, every one compared
-    // against the sequential uncached reference — and the warm re-run
-    // (the all-hits path) compared again, because memo bugs typically
-    // only bite on the second pass.
+    // {incremental} × {memo_projection} × {cache} × {incremental_classify}
+    // × {sigma_cold} × {jobs 1, jobs 4}, cold and warm: 64 configurations
+    // per benchmark, every one compared against the sequential uncached
+    // reference — and the warm re-run (the all-hits path) compared again,
+    // because memo bugs typically only bite on the second pass.
     for bench in si_redress::suite::benchmarks() {
         let (stg, library) = bench.circuit().expect("loads");
         let reference = derive_timing_constraints(&stg, &library).expect("derives");
         for incremental in [false, true] {
             for memo_projection in [false, true] {
                 for cache in [false, true] {
-                    for jobs in [1usize, 4] {
-                        let config = EngineConfig {
-                            incremental,
-                            memo_projection,
-                            cache,
-                            jobs,
-                            ..EngineConfig::default()
-                        };
-                        let engine = Engine::new(config);
-                        let cold = engine.run(&stg, &library).expect("derives");
-                        assert_eq!(
-                            cold.report, reference,
-                            "{}: cold run diverged under {config:?}",
-                            bench.name
-                        );
-                        let warm = engine.run(&stg, &library).expect("derives");
-                        assert_eq!(
-                            warm.report, reference,
-                            "{}: warm run diverged under {config:?}",
-                            bench.name
-                        );
+                    for incremental_classify in [false, true] {
+                        for sigma_cold in [false, true] {
+                            for jobs in [1usize, 4] {
+                                let config = EngineConfig {
+                                    incremental,
+                                    memo_projection,
+                                    cache,
+                                    incremental_classify,
+                                    sigma_cold,
+                                    jobs,
+                                    ..EngineConfig::default()
+                                };
+                                let engine = Engine::new(config);
+                                let cold = engine.run(&stg, &library).expect("derives");
+                                assert_eq!(
+                                    cold.report, reference,
+                                    "{}: cold run diverged under {config:?}",
+                                    bench.name
+                                );
+                                let warm = engine.run(&stg, &library).expect("derives");
+                                assert_eq!(
+                                    warm.report, reference,
+                                    "{}: warm run diverged under {config:?}",
+                                    bench.name
+                                );
+                            }
+                        }
                     }
                 }
             }
@@ -100,6 +106,22 @@ fn incremental_and_memo_layers_actually_engage() {
     assert!(
         warm_relax.sg_delta_hits > 0,
         "a warm run must answer repeated edits from the delta tier: {warm_relax:?}"
+    );
+    // The conformance tier added by this PR: a cold run must classify
+    // trial SGs incrementally (copying unaffected verdicts), and a warm
+    // run must answer repeated classifications from the verdict cache.
+    assert!(
+        relax.conf_inc_classified > 0,
+        "a cold run must reclassify relaxation trials incrementally: {relax:?}"
+    );
+    assert!(
+        warm_relax.conf_cache_hits > 0,
+        "a warm run must answer repeated classifications from the verdict cache: {warm_relax:?}"
+    );
+    assert!(
+        warm.conformance.hits >= warm_relax.conf_cache_hits,
+        "engine-level conformance counters must cover the warm run: {:?}",
+        warm.conformance
     );
 }
 

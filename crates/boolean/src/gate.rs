@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 use crate::cover::Cover;
 use crate::cube::Cube;
 use crate::eqn::{EqnGate, Netlist};
-use crate::qm::irredundant_cover;
+use crate::qm::{expand_cover, irredundant_cover, MAX_EXACT_VARS};
 
 /// A gate: a single-output Boolean (possibly sequential) element described
 /// by an irredundant prime cover of its on-set (`f↑`, the pull-up function)
@@ -27,18 +27,28 @@ pub struct Gate {
 
 impl Gate {
     /// Builds a gate from an on-set cover; the pull-down cover is derived as
-    /// an irredundant prime cover of the complement.
+    /// an irredundant prime cover of the complement. Past
+    /// [`MAX_EXACT_VARS`] support variables the exact minimization is
+    /// replaced by [`expand_cover`] (still irredundant and deterministic,
+    /// no longer exact-minimal).
     ///
     /// # Panics
     ///
     /// Panics if the support exceeds 20 variables.
     pub fn from_up_cover(output: impl Into<String>, vars: Vec<String>, up: Cover) -> Self {
         let n = vars.len();
+        assert!(n <= 20, "gate support is capped at 20 variables");
         let off: Vec<u64> = (0..(1u64 << n)).filter(|&s| !up.eval(s)).collect();
         let on: Vec<u64> = (0..(1u64 << n)).filter(|&s| up.eval(s)).collect();
         // Re-minimize the on-set too, so `up` is an irredundant prime cover.
-        let up = irredundant_cover(&on, &[], n);
-        let down = irredundant_cover(&off, &[], n);
+        let (up, down) = if n <= MAX_EXACT_VARS {
+            (
+                irredundant_cover(&on, &[], n),
+                irredundant_cover(&off, &[], n),
+            )
+        } else {
+            (expand_cover(&on, &off, n), expand_cover(&off, &on, n))
+        };
         Self {
             output: output.into(),
             vars,

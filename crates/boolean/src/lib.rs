@@ -31,4 +31,4 @@ pub use cover::Cover;
 pub use cube::Cube;
 pub use eqn::{parse_eqn, write_eqn, EqnGate, Netlist, ParseEqnError};
 pub use gate::{Gate, GateLibrary};
-pub use qm::{irredundant_cover, prime_implicants};
+pub use qm::{expand_cover, irredundant_cover, prime_implicants, MAX_EXACT_VARS};

@@ -52,6 +52,13 @@ pub fn prime_implicants(on: &[u64], dc: &[u64], n: usize) -> Vec<Cube> {
         .collect()
 }
 
+/// Variable-count threshold up to which exact Quine–McCluskey
+/// minimization stays cheap. The minterm ladder touches up to `3^n`
+/// subcubes with quadratic merging per level; past 8 variables a
+/// don't-care-rich function takes minutes, so callers switch to the
+/// off-set-driven [`expand_cover`] there.
+pub const MAX_EXACT_VARS: usize = 8;
+
 /// Produces an irredundant prime cover of the function with the given
 /// on-set and don't-care set (thesis `f↑` / `f↓` form).
 ///
@@ -66,6 +73,58 @@ pub fn irredundant_cover(on: &[u64], dc: &[u64], n: usize) -> Cover {
         return Cover::zero(n);
     }
     let primes = prime_implicants(on, dc, n);
+    select_irredundant(&primes, on, n)
+}
+
+/// Produces an irredundant prime cover by greedy literal expansion
+/// against an explicit off-set, for variable counts where exact QM
+/// minterm enumeration is intractable (`n > `[`MAX_EXACT_VARS`]).
+///
+/// Each on-set minterm is widened into a prime implicant — literals are
+/// dropped in ascending variable order while the cube stays disjoint
+/// from every `off` minterm — and the same essential/greedy/prune
+/// selection as [`irredundant_cover`] keeps the result irredundant.
+/// Cost is `O(|on| · n · |off|)`: linear in the off-set instead of
+/// exponential in `n`, at the price of exact minimality (the chosen
+/// primes depend on the expansion order). Deterministic for fixed
+/// inputs. Minterms outside `on ∪ off` are don't-cares.
+///
+/// # Panics
+///
+/// Panics if `n > 64` or `on` and `off` intersect.
+pub fn expand_cover(on: &[u64], off: &[u64], n: usize) -> Cover {
+    assert!(n <= 64, "at most 64 variables are supported");
+    if on.is_empty() {
+        return Cover::zero(n);
+    }
+    let care = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut sorted_on: Vec<u64> = on.iter().map(|&m| m & care).collect();
+    sorted_on.sort_unstable();
+    sorted_on.dedup();
+    let mut primes: BTreeSet<Cube> = BTreeSet::new();
+    for &m in &sorted_on {
+        let mut cube = Cube::from_minterm(m, care);
+        assert!(
+            !off.iter().any(|&o| cube.eval(o & care)),
+            "on-set and off-set intersect at minterm {m:b}"
+        );
+        // One ascending pass yields a prime: once dropping `var` hits the
+        // off-set it keeps hitting it under any further widening.
+        for var in 0..n {
+            let wider = cube.without(var);
+            if wider != cube && !off.iter().any(|&o| wider.eval(o & care)) {
+                cube = wider;
+            }
+        }
+        primes.insert(cube);
+    }
+    let primes: Vec<Cube> = primes.into_iter().collect();
+    select_irredundant(&primes, &sorted_on, n)
+}
+
+/// Essential-first, then greedy largest-cover, then reverse-order prune —
+/// the selection shared by [`irredundant_cover`] and [`expand_cover`].
+fn select_irredundant(primes: &[Cube], on: &[u64], n: usize) -> Cover {
     let covers_of: Vec<Vec<usize>> = on
         .iter()
         .map(|&m| (0..primes.len()).filter(|&i| primes[i].eval(m)).collect())
@@ -222,6 +281,80 @@ mod tests {
         // All minterms are don't-cares except one off minterm: no primes.
         let primes = prime_implicants(&[], &[0b0, 0b1], 1);
         assert!(primes.is_empty());
+    }
+
+    #[test]
+    fn expansion_agrees_with_the_care_set() {
+        for n in 1..=4usize {
+            for seed in 0..8u64 {
+                let f = |s: u64| (s.wrapping_mul(seed * 2 + 7) ^ (s >> 1)) & 1 == 1;
+                let on: Vec<u64> = (0..(1u64 << n)).filter(|&s| f(s)).collect();
+                let off: Vec<u64> = (0..(1u64 << n)).filter(|&s| !f(s)).collect();
+                let cover = expand_cover(&on, &off, n);
+                for s in 0..(1u64 << n) {
+                    assert_eq!(cover.eval(s), f(s), "n={n} seed={seed} s={s:b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_cubes_are_prime_and_irredundant() {
+        let on = vec![0b0000, 0b0001, 0b0011, 0b1111];
+        let off = vec![0b0100, 0b1010, 0b0110];
+        let cover = expand_cover(&on, &off, 4);
+        for &m in &on {
+            assert!(cover.eval(m));
+        }
+        for &m in &off {
+            assert!(!cover.eval(m));
+        }
+        for cube in cover.cubes() {
+            // Prime: widening by any single literal hits the off-set.
+            for (var, _) in cube.literals() {
+                assert!(
+                    off.iter().any(|&m| cube.without(var).eval(m)),
+                    "literal {var} of {cube:?} is droppable"
+                );
+            }
+            // Irredundant: each cube covers some minterm the rest miss.
+            assert!(
+                on.iter().any(|&m| {
+                    cube.eval(m)
+                        && !cover
+                            .cubes()
+                            .iter()
+                            .any(|other| other != cube && other.eval(m))
+                }),
+                "cube {cube:?} is redundant"
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_handles_dont_care_rich_wide_functions() {
+        // The pathological synthesis shape: ~35 care minterms over 10
+        // variables, everything else don't-care. Exact QM climbs a
+        // near-complete 3^10 subcube ladder here; expansion must stay
+        // instant and still separate on from off.
+        let care: Vec<u64> = (0..35u64).map(|i| i.wrapping_mul(29) % 1024).collect();
+        let on: Vec<u64> = care.iter().copied().filter(|m| m % 3 == 0).collect();
+        let off: Vec<u64> = care.iter().copied().filter(|m| m % 3 != 0).collect();
+        let cover = expand_cover(&on, &off, 10);
+        for &m in &on {
+            assert!(cover.eval(m));
+        }
+        for &m in &off {
+            assert!(!cover.eval(m));
+        }
+    }
+
+    #[test]
+    fn expansion_without_off_set_is_the_tautology() {
+        let cover = expand_cover(&[0b01, 0b10], &[], 2);
+        assert_eq!(cover.cubes().len(), 1);
+        assert_eq!(cover.cubes()[0].literal_count(), 0);
+        assert_eq!(expand_cover(&[], &[0b1], 1), Cover::zero(1));
     }
 
     #[test]

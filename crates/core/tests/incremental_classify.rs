@@ -7,117 +7,18 @@
 //! alike. The scratch sweep is the pinned reference; any divergence here
 //! is a soundness bug in the verdict-copying path.
 
-use std::collections::BTreeSet;
-use std::sync::Arc;
-
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
-use si_boolean::{parse_eqn, GateLibrary};
-use si_core::{classify_states, classify_states_from, prerequisite_sets, GateContext, LocalStg};
-use si_stg::{MgStg, Polarity, SignalKind, StateGraph, Stg, TransitionLabel};
+use si_core::{classify_states, classify_states_from, prerequisite_sets};
+use si_corpus::strategies::{random_local_case, Edit, RandomLocal};
+use si_stg::StateGraph;
 
-/// One randomly generated local STG: `k` input signals plus one gate
-/// output `z` (a `k`-input C-element), wired as the consistent handshake
-/// ring `s0+ … s(k-1)+ z+ s0- … s(k-1)- z-` (one token on the closing
-/// arc) plus a handful of random extra arcs that may introduce
-/// concurrency, deadlock, non-conformance or inconsistency — all of which
-/// the two classification paths must report identically.
-#[derive(Debug, Clone)]
-struct RandomLocal {
-    inputs: usize,
-    extras: Vec<(usize, usize, u32)>,
-}
-
-impl RandomLocal {
-    fn build(&self) -> LocalStg {
-        let mut stg = Stg::new("prop");
-        let sigs: Vec<_> = (0..self.inputs)
-            .map(|i| stg.add_signal(format!("s{i}"), SignalKind::Input))
-            .collect();
-        let z = stg.add_signal("z", SignalKind::Output);
-        // A C-element over all inputs: z rises when every input is high,
-        // falls when every input is low, holds otherwise.
-        let and: Vec<String> = (0..self.inputs).map(|i| format!("s{i}")).collect();
-        let hold: Vec<String> = (0..self.inputs).map(|i| format!("z*s{i}")).collect();
-        let eqn = format!("z = {} + {};", and.join("*"), hold.join(" + "));
-        let netlist = parse_eqn(&eqn).expect("well-formed C-element equation");
-        let library = GateLibrary::from_netlist(&netlist);
-        let ctx = GateContext::bind(&library.gates[0], &stg).expect("binds");
-
-        let mut mg = MgStg::empty_like(&stg);
-        let mut ring = Vec::new();
-        for &s in &sigs {
-            ring.push(mg.add_transition(TransitionLabel::first(s, Polarity::Plus)));
-        }
-        ring.push(mg.add_transition(TransitionLabel::first(z, Polarity::Plus)));
-        for &s in &sigs {
-            ring.push(mg.add_transition(TransitionLabel::first(s, Polarity::Minus)));
-        }
-        ring.push(mg.add_transition(TransitionLabel::first(z, Polarity::Minus)));
-        for w in 0..ring.len() {
-            let next = (w + 1) % ring.len();
-            let tokens = u32::from(next == 0);
-            mg.insert_arc(ring[w], ring[next], tokens, false);
-        }
-        for &(a, b, tokens) in &self.extras {
-            mg.insert_arc(ring[a % ring.len()], ring[b % ring.len()], tokens, false);
-        }
-        LocalStg {
-            mg,
-            ctx: Arc::new(ctx),
-            guaranteed: BTreeSet::new(),
-        }
-    }
-}
-
-/// A single-arc edit: remove an arc, insert one, or retoken one — the
-/// same edit space the relaxation loop's trials draw from.
-#[derive(Debug, Clone)]
-enum Edit {
-    Remove(usize),
-    Insert(usize, usize, u32),
-    Retoken(usize, u32),
-}
-
-impl Edit {
-    /// Applies the edit to a clone of `local` (indices wrap over the
-    /// current arc/transition lists, so every drawn edit is applicable).
-    fn apply(&self, local: &LocalStg) -> LocalStg {
-        let mut out = local.clone();
-        let arcs: Vec<(usize, usize)> = local.mg.arcs().map(|(k, _)| k).collect();
-        let ts = local.mg.transitions();
-        match *self {
-            Edit::Remove(i) => {
-                let (a, b) = arcs[i % arcs.len()];
-                out.mg.remove_arc(a, b);
-            }
-            Edit::Insert(a, b, tokens) => {
-                out.mg
-                    .insert_arc(ts[a % ts.len()], ts[b % ts.len()], tokens, false);
-            }
-            Edit::Retoken(i, tokens) => {
-                let (a, b) = arcs[i % arcs.len()];
-                out.mg.remove_arc(a, b);
-                out.mg.insert_arc(a, b, tokens, false);
-            }
-        }
-        out
-    }
-}
-
+/// The shared [`si_corpus::strategies::random_local_case`] drives these
+/// properties: a random C-element local STG, a random single-arc
+/// [`Edit`], and a wrapped relaxed-transition index (the same generator
+/// family the incremental regeneration proptests in `si-stg` use).
 fn random_case() -> impl Strategy<Value = (RandomLocal, Edit, usize)> {
-    let local = (
-        2usize..=4,
-        proptest::collection::vec((0usize..12, 0usize..12, 0u32..=1), 0..4),
-    )
-        .prop_map(|(inputs, extras)| RandomLocal { inputs, extras });
-    let edit =
-        (0u8..3, 0usize..32, 0usize..32, 0u32..=2).prop_map(|(kind, a, b, tokens)| match kind {
-            0 => Edit::Remove(a),
-            1 => Edit::Insert(a, b, tokens),
-            _ => Edit::Retoken(a, tokens),
-        });
-    (local, edit, 0usize..32)
+    random_local_case()
 }
 
 /// Runs one parent → edit → child round at `budget`, asserting the
@@ -136,7 +37,7 @@ fn check_round(
     let Ok((_, parent_report)) = classify_states(&parent, &parent_sg, &parent_epre, None) else {
         return Ok(()); // no parent verdicts to copy
     };
-    let child = edit.apply(&parent);
+    let child = edit.apply_local(&parent);
     let Ok((child_sg, Some(map))) =
         StateGraph::of_mg_from(&parent.mg, &parent_sg, &child.mg, budget)
     else {

@@ -1,0 +1,61 @@
+//! Seeded synthetic STG corpus generation.
+//!
+//! The thirteen bundled Table 7.2 benchmarks pin the engine bit-exactly,
+//! but they are a *fixed* population: every golden snapshot, differential
+//! matrix and perf number measures the same thirteen circuits. This crate
+//! supplies the missing statistical scale — a deterministic generator
+//! mapping `(CorpusSpec, seed)` onto valid speed-independent control
+//! circuits ([`generate`]), plus the shared property-test strategies the
+//! member crates' proptests draw from ([`strategies`]).
+//!
+//! Two guarantees are load-bearing (and pinned by this crate's property
+//! suite):
+//!
+//! 1. **Validity** — every generated circuit strict-parses under
+//!    [`si_stg::parse_astg`] and lints with zero `si-lint` errors.
+//! 2. **Determinism** — equal `(sanitized spec, seed)` pairs yield
+//!    byte-identical `.g` text, forever and on every platform. The
+//!    one-line [`Reproducer`] format the fuzz harness prints on a
+//!    divergence rests on this.
+//!
+//! # Example
+//!
+//! ```
+//! use si_corpus::{generate, CorpusSpec};
+//!
+//! let spec = CorpusSpec { signals: 6, ..CorpusSpec::default() };
+//! let circuit = generate(&spec, 42);
+//! assert_eq!(circuit.stg.signal_count(), 6);
+//! assert_eq!(circuit.g_text, generate(&spec, 42).g_text); // deterministic
+//! ```
+
+mod rng;
+mod spec;
+pub mod strategies;
+
+pub use rng::CorpusRng;
+pub use spec::{
+    corpus_name, generate, generate_named, CorpusSpec, GeneratedCircuit, MarkingStyle, Reproducer,
+};
+
+/// Relaxation-iteration budget for corpus-scale harnesses
+/// ([`harness_config`]).
+pub const HARNESS_EXPAND_BUDGET: usize = 400;
+
+/// Caps `base`'s relaxation-iteration budget for corpus-scale sweeps.
+///
+/// A small fraction of generated circuits (high-concurrency fork shapes —
+/// `corpus-000000bd`, seed 189, is the canonical specimen) drive the
+/// per-gate relaxation loop into superlinear blowup: each trial grows the
+/// local STG, so the default 20 000-iteration budget translates to hours
+/// on one circuit. Harnesses that sweep thousands of circuits (`si_fuzz`,
+/// `corpus_bench`, the differential suites) cap the budget instead;
+/// overruns surface as ordinary deterministic [`si_core::CoreError`]
+/// values, which differential comparison covers like any other payload.
+/// Apply the same cap to *both* engines of a differential pair.
+pub fn harness_config(base: si_core::EngineConfig) -> si_core::EngineConfig {
+    si_core::EngineConfig {
+        expand_budget: HARNESS_EXPAND_BUDGET,
+        ..base
+    }
+}

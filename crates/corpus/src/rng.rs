@@ -1,0 +1,85 @@
+//! The corpus generator's own deterministic random stream.
+//!
+//! SplitMix64, self-contained: the seed → circuit mapping is part of the
+//! corpus crate's public determinism contract (reproducers printed by
+//! `si_fuzz` must replay forever), so it must not drift with the test
+//! harness's internals. Hence a private generator rather than reusing the
+//! vendored proptest shim's.
+
+/// A deterministic SplitMix64 stream.
+#[derive(Debug, Clone)]
+pub struct CorpusRng {
+    state: u64,
+}
+
+impl CorpusRng {
+    /// Creates a stream from a seed. Equal seeds yield equal streams on
+    /// every platform — this is load-bearing for reproducers.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        CorpusRng {
+            state: seed ^ 0x6a09_e667_f3bc_c908, // frac(sqrt(2)) — distinct from proptest's stream
+        }
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// On an empty range.
+    pub fn below(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "cannot sample from empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform draw from the inclusive range `[lo, hi]`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        usize::try_from(self.below(lo as u64, hi as u64 + 1)).expect("usize range")
+    }
+
+    /// True with probability `pct`%.
+    pub fn chance(&mut self, pct: u8) -> bool {
+        self.below(0, 100) < u64::from(pct)
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range(0, i);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_replay_equal_streams() {
+        let mut a = CorpusRng::new(42);
+        let mut b = CorpusRng::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = CorpusRng::new(7);
+        let mut v: Vec<usize> = (0..16).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+    }
+}

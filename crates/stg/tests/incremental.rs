@@ -7,91 +7,15 @@
 //! here is a soundness bug in the delta path.
 
 use proptest::prelude::*;
-use si_stg::{MgStg, Polarity, SignalKind, StateGraph, Stg, TransitionLabel};
+use si_corpus::strategies::{random_mg_case, Edit, RandomMg};
+use si_stg::StateGraph;
 
-/// One randomly generated marked graph: a consistent ring
-/// `s0+ … s(k-1)+ s0- … s(k-1)-` (one token on the closing arc) plus a
-/// handful of random extra arcs that may introduce concurrency, deadlock
-/// or inconsistency — all of which the two derivation paths must report
-/// identically.
-#[derive(Debug, Clone)]
-struct RandomMg {
-    signals: usize,
-    extras: Vec<(usize, usize, u32)>,
-}
-
-impl RandomMg {
-    fn build(&self) -> MgStg {
-        let mut stg = Stg::new("prop");
-        let sigs: Vec<_> = (0..self.signals)
-            .map(|i| stg.add_signal(format!("s{i}"), SignalKind::Input))
-            .collect();
-        let mut mg = MgStg::empty_like(&stg);
-        let mut ring = Vec::new();
-        for &s in &sigs {
-            ring.push(mg.add_transition(TransitionLabel::first(s, Polarity::Plus)));
-        }
-        for &s in &sigs {
-            ring.push(mg.add_transition(TransitionLabel::first(s, Polarity::Minus)));
-        }
-        for w in 0..ring.len() {
-            let next = (w + 1) % ring.len();
-            let tokens = u32::from(next == 0);
-            mg.insert_arc(ring[w], ring[next], tokens, false);
-        }
-        for &(a, b, tokens) in &self.extras {
-            mg.insert_arc(ring[a % ring.len()], ring[b % ring.len()], tokens, false);
-        }
-        mg
-    }
-}
-
-/// A single-arc edit: remove an arc, insert one, or retoken one.
-#[derive(Debug, Clone)]
-enum Edit {
-    Remove(usize),
-    Insert(usize, usize, u32),
-    Retoken(usize, u32),
-}
-
-impl Edit {
-    /// Applies the edit to a clone of `mg` (indices wrap over the current
-    /// arc list / transition list, so every drawn edit is applicable).
-    fn apply(&self, mg: &MgStg) -> MgStg {
-        let mut out = mg.clone();
-        let arcs: Vec<(usize, usize)> = mg.arcs().map(|(k, _)| k).collect();
-        let ts = mg.transitions();
-        match *self {
-            Edit::Remove(i) => {
-                let (a, b) = arcs[i % arcs.len()];
-                out.remove_arc(a, b);
-            }
-            Edit::Insert(a, b, tokens) => {
-                out.insert_arc(ts[a % ts.len()], ts[b % ts.len()], tokens, false);
-            }
-            Edit::Retoken(i, tokens) => {
-                let (a, b) = arcs[i % arcs.len()];
-                out.remove_arc(a, b);
-                out.insert_arc(a, b, tokens, false);
-            }
-        }
-        out
-    }
-}
-
+/// The shared [`si_corpus::strategies::random_mg_case`] drives these
+/// properties: a random consistent ring MG plus a random single-arc
+/// [`Edit`] (the same case shape the incremental classification
+/// proptests in `si-core` use).
 fn random_case() -> impl Strategy<Value = (RandomMg, Edit)> {
-    let mg = (
-        2usize..=5,
-        proptest::collection::vec((0usize..10, 0usize..10, 0u32..=1), 0..4),
-    )
-        .prop_map(|(signals, extras)| RandomMg { signals, extras });
-    let edit =
-        (0u8..3, 0usize..32, 0usize..32, 0u32..=2).prop_map(|(kind, a, b, tokens)| match kind {
-            0 => Edit::Remove(a),
-            1 => Edit::Insert(a, b, tokens),
-            _ => Edit::Retoken(a, tokens),
-        });
-    (mg, edit)
+    random_mg_case()
 }
 
 proptest! {
@@ -103,7 +27,7 @@ proptest! {
         let Ok(parent_sg) = StateGraph::of_mg(&parent, 10_000) else {
             return Ok(()); // no predecessor graph to regenerate from
         };
-        let child = edit.apply(&parent);
+        let child = edit.apply_mg(&parent);
         let scratch = StateGraph::of_mg(&child, 10_000);
         let incremental =
             StateGraph::of_mg_from(&parent, &parent_sg, &child, 10_000).map(|(sg, _)| sg);
@@ -120,7 +44,7 @@ proptest! {
         let Ok(parent_sg) = StateGraph::of_mg(&parent, 10_000) else {
             return Ok(());
         };
-        let child = edit.apply(&parent);
+        let child = edit.apply_mg(&parent);
         let Ok((child_sg, Some(map))) =
             StateGraph::of_mg_from(&parent, &parent_sg, &child, 10_000) else {
             return Ok(()); // error or scratch fallback: no map to check
@@ -147,7 +71,7 @@ proptest! {
     #[test]
     fn sigma_cold_matches_scratch((spec, edit) in random_case()) {
         let parent = spec.build();
-        let child = edit.apply(&parent);
+        let child = edit.apply_mg(&parent);
         for mg in [&parent, &child] {
             prop_assert_eq!(
                 StateGraph::of_mg_sigma(mg, 10_000),
@@ -168,7 +92,7 @@ proptest! {
         let Ok(parent_sg) = StateGraph::of_mg(&parent, 10_000) else {
             return Ok(());
         };
-        let child = edit.apply(&parent);
+        let child = edit.apply_mg(&parent);
         for budget in [1usize, 2, 3, 5, 9, 17] {
             let scratch = StateGraph::of_mg(&child, budget);
             let incremental =
@@ -180,7 +104,7 @@ proptest! {
     #[test]
     fn arc_delta_reconstructs_the_edited_arc_set((spec, edit) in random_case()) {
         let parent = spec.build();
-        let child = edit.apply(&parent);
+        let child = edit.apply_mg(&parent);
         let delta = parent.arc_delta(&child);
         // Replaying the delta over the parent's arc set must yield the
         // child's arc set (token counts; restriction flags are out of

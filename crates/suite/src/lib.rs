@@ -38,10 +38,14 @@ use si_synth::synthesize;
 
 mod batch;
 mod circuits;
+mod corpus;
 mod extra;
 
 pub use batch::{run_benchmark, run_suite, BatchEntry, BatchError};
 pub use circuits::FIFO_G;
+pub use corpus::{
+    run_corpus, run_corpus_entry, CorpusEntry, CorpusError, CorpusOutcome, CorpusRow,
+};
 pub use extra::{extended, FIFO_DOUBLE_G, VME_READ_G};
 
 /// Loading/synthesis failure for a benchmark.

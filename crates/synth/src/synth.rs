@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use si_boolean::{irredundant_cover, Gate, GateLibrary};
+use si_boolean::{expand_cover, irredundant_cover, Gate, GateLibrary, MAX_EXACT_VARS};
 use si_stg::{SignalId, StateGraph, Stg};
 
 use crate::csc::{check_csc, next_value};
@@ -89,17 +89,23 @@ fn synthesize_signal(stg: &Stg, sg: &StateGraph, a: SignalId) -> Result<Gate, Sy
             }
         }
     }
-    let dc: Vec<u64> = (0..(1u64 << support.len()))
-        .filter(|m| !seen.contains_key(m))
-        .collect();
-    let _ = &off;
-
     // Minimize the pull-up with the unreachable codes as don't-cares, then
     // freeze the don't-care choices: the gate is the resulting function
     // everywhere and `f↓` is its exact complement. This matches the EQN
     // netlist semantics (a netlist only records `f↑`), so synthesized
     // gates round-trip through the restricted EQN format bit-exactly.
-    let up = irredundant_cover(&on, &dc, support.len());
+    // Past MAX_EXACT_VARS support variables the unreachable-code
+    // don't-care set approaches the full 2^n space and exact QM takes
+    // minutes; the off-set-driven expansion stays linear in the (small)
+    // reachable off-set instead.
+    let up = if support.len() <= MAX_EXACT_VARS {
+        let dc: Vec<u64> = (0..(1u64 << support.len()))
+            .filter(|m| !seen.contains_key(m))
+            .collect();
+        irredundant_cover(&on, &dc, support.len())
+    } else {
+        expand_cover(&on, &off, support.len())
+    };
     let vars: Vec<String> = support
         .iter()
         .map(|&s| stg.signal_name(s).to_string())

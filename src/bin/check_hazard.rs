@@ -29,7 +29,13 @@ intra-operator fork assumption, plus the pre-relaxation baseline.
 OPTIONS:
         --bench <NAME>    run a bundled Table 7.2 benchmark by name
                           (synthesizing its netlist when the thesis gives
-                          none) instead of reading the two files
+                          none) instead of reading the two files;
+                          `corpus:<seed>` runs the seeded synthetic
+                          corpus circuit for that seed instead — the
+                          canonical spec derivation at 12 signals max,
+                          synthesized netlist, and the corpus-harness
+                          relaxation budget, exactly as `si_fuzz` and
+                          `corpus_bench` name them
         --lint            strict lint pre-flight: refuse to derive when
                           the specification has lint errors (the default
                           policy only reports them on stderr)
@@ -197,6 +203,31 @@ fn run(args: &Args) -> Result<bool, String> {
                     return Err(format!(
                         "`{stg_path}` failed the lint pre-flight with {errors} error(s)"
                     ));
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+        Source::Bench(name) if name.starts_with("corpus:") => {
+            let seed: u64 = name["corpus:".len()..]
+                .parse()
+                .map_err(|_| format!("`{name}`: expected `corpus:<seed>` with a numeric seed"))?;
+            // Mirror the fuzz harness exactly: canonical spec derivation,
+            // fuzz signal bound, capped relaxation budget — so a fuzz
+            // reproducer's circuit can be inspected under the same knobs.
+            let engine = Engine::new(si_redress::corpus::harness_config(args.config));
+            let spec = si_redress::corpus::CorpusSpec::from_seed(seed, 12);
+            let circuit = si_redress::corpus::generate(&spec, seed);
+            let entry = si_redress::suite::CorpusEntry {
+                name: si_redress::corpus::corpus_name(seed),
+                stg_text: circuit.g_text,
+                eqn_text: None,
+            };
+            match si_redress::suite::run_corpus_entry(&engine, &entry) {
+                Ok(row) => {
+                    report_lint(&row.lint, &entry.stg_text, &entry.name);
+                    let mut out = row.report;
+                    out.lint = row.lint;
+                    out
                 }
                 Err(e) => return Err(e.to_string()),
             }

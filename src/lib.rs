@@ -25,7 +25,11 @@
 //!   config, state-graph memoization, parallel per-gate fan-out);
 //! - [`sim`]: event-driven timing simulation, technology models,
 //!   error-rate and cycle-time analysis;
-//! - [`suite`]: the thirteen-benchmark corpus of the paper's Table 7.2.
+//! - [`corpus`]: the seeded synthetic circuit generator (deterministic
+//!   `(spec, seed)` → valid `.g`, plus the shared proptest strategies)
+//!   behind the `si_fuzz` differential harness;
+//! - [`suite`]: the thirteen-benchmark corpus of the paper's Table 7.2,
+//!   and the circuit-level sharded [`suite::run_corpus`] runner.
 //!
 //! # Quickstart
 //!
@@ -45,6 +49,7 @@
 
 pub use si_boolean as boolean;
 pub use si_core as core;
+pub use si_corpus as corpus;
 pub use si_lint as lint;
 pub use si_petri as petri;
 pub use si_sim as sim;

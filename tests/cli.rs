@@ -284,6 +284,35 @@ fn check_hazard_bench_mode_runs_bundled_circuits() {
 }
 
 #[test]
+fn check_hazard_bench_mode_runs_corpus_circuits() {
+    // `corpus:<seed>` mirrors the fuzz harness derivation exactly: the
+    // canonical 12-signal spec for the seed, a synthesized netlist, the
+    // corpus-harness relaxation budget. Seed 42 is a hazard-positive
+    // circuit whose constraint count the corpus goldens also pin.
+    let run = |bench: &str| {
+        let output = Command::new(env!("CARGO_BIN_EXE_check_hazard"))
+            .args(["--bench", bench])
+            .output()
+            .expect("binary runs");
+        let lines = String::from_utf8_lossy(&output.stdout)
+            .lines()
+            .filter(|l| l.contains(" < "))
+            .count();
+        (output.status.code(), lines)
+    };
+    let (code, lines) = run("corpus:42");
+    assert_eq!(code, Some(1), "seed 42 derives hazards");
+    assert_eq!(lines, 18, "generator determinism pins the constraint set");
+    // Seed 1000 synthesizes into a constraint-free netlist: exit 0.
+    let (code, lines) = run("corpus:1000");
+    assert_eq!(code, Some(0));
+    assert_eq!(lines, 0);
+    // A malformed seed is a runtime error, like an unknown bench name.
+    let (code, _) = run("corpus:abc");
+    assert_eq!(code, Some(2));
+}
+
+#[test]
 fn check_hazard_reports_parse_errors() {
     let stg_path = write_temp("bad.g", ".model broken\n.inputs a\n");
     let eqn_path = write_temp("bad.eqn", "a = b;\n");

@@ -23,6 +23,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use si_redress::core::{derive_timing_constraints, Engine, EngineConfig};
+use si_redress::corpus::{generate_named, CorpusSpec, MarkingStyle};
+use si_redress::synth::synthesize;
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -98,15 +100,120 @@ fn golden_snapshots_pin_the_reference_output_for_every_benchmark() {
     }
 }
 
+/// Five pinned generator fixtures spanning the spec envelope: a plain
+/// two-phase ring, a wide fork stage, a binary choice, an OR-causality
+/// tail, and a mixed shape. All two-phase (`interleave: false`), so CSC
+/// holds by construction and synthesis is guaranteed. Because the
+/// generator promises byte-identical `.g` text per `(sanitized spec,
+/// seed)` pair forever, these snapshots pin the *generator* as much as
+/// the engine: a drifting generator shows up here before it silently
+/// reshuffles every fuzz seed.
+fn corpus_fixtures() -> Vec<(&'static str, CorpusSpec, u64)> {
+    let base = CorpusSpec {
+        signals: 6,
+        choices: 0,
+        or_density: 0,
+        max_fork: 1,
+        interleave: false,
+        marking: MarkingStyle::ImplicitArcs,
+    };
+    vec![
+        ("corpus-two-phase-ring", base, 1),
+        (
+            "corpus-forked-burst",
+            CorpusSpec {
+                signals: 10,
+                max_fork: 3,
+                ..base
+            },
+            7,
+        ),
+        (
+            "corpus-choice-pair",
+            CorpusSpec {
+                signals: 8,
+                choices: 1,
+                max_fork: 2,
+                marking: MarkingStyle::ExplicitPlace,
+                ..base
+            },
+            11,
+        ),
+        (
+            "corpus-or-tail",
+            CorpusSpec {
+                signals: 9,
+                choices: 2,
+                or_density: 100,
+                marking: MarkingStyle::ExplicitPlace,
+                ..base
+            },
+            5,
+        ),
+        (
+            "corpus-mixed",
+            CorpusSpec {
+                signals: 12,
+                choices: 2,
+                or_density: 60,
+                max_fork: 2,
+                marking: MarkingStyle::ExplicitPlace,
+                ..base
+            },
+            42,
+        ),
+    ]
+}
+
+#[test]
+fn golden_snapshots_pin_the_reference_output_for_corpus_fixtures() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let engine = Engine::new(EngineConfig::default());
+    let budget = engine.config().global_sg_budget;
+    for (name, spec, seed) in corpus_fixtures() {
+        let circuit = generate_named(&spec, seed, name);
+        let library = synthesize(&circuit.stg, budget)
+            .unwrap_or_else(|e| panic!("corpus fixture `{name}` must synthesize: {e}"));
+        let path = golden_path(name);
+        if update {
+            let reference = derive_timing_constraints(&circuit.stg, &library).expect("derives");
+            let contents = format!("{}{}", header(name), reference.snapshot());
+            fs::write(&path, contents)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        }
+        let out = engine.run(&circuit.stg, &library).expect("derives");
+        let rendered = format!("{}{}", header(name), out.report.snapshot());
+        let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden snapshot `{}`: {e}\n\
+                 run `UPDATE_GOLDEN=1 cargo test --test golden` to create it",
+                path.display()
+            )
+        });
+        assert_eq!(
+            rendered,
+            expected,
+            "golden snapshot mismatch for corpus fixture `{name}` ({}).\n{}\n\
+             Either the engine diverged from the reference, or the corpus\n\
+             generator's output drifted for a pinned (spec, seed) pair —\n\
+             the latter breaks every recorded fuzz reproducer and needs a\n\
+             deliberate decision, not a snapshot refresh.",
+            path.display(),
+            first_diff(&rendered, &expected),
+        );
+    }
+}
+
 #[test]
 fn golden_directory_has_no_stale_snapshots() {
     // Every file in tests/golden must correspond to a bundled benchmark:
     // a renamed or removed benchmark must not leave an orphaned snapshot
     // silently pinning nothing.
-    let names: Vec<&str> = si_redress::suite::benchmarks()
+    let mut names: Vec<&str> = si_redress::suite::benchmarks()
         .iter()
         .map(|b| b.name)
         .collect();
+    names.extend(corpus_fixtures().iter().map(|(name, _, _)| *name));
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
     for entry in fs::read_dir(&dir).expect("golden directory exists") {
         let path = entry.expect("readable entry").path();
@@ -117,7 +224,7 @@ fn golden_directory_has_no_stale_snapshots() {
             .to_string();
         assert!(
             names.contains(&stem.as_str()),
-            "stale golden snapshot `{}` matches no bundled benchmark",
+            "stale golden snapshot `{}` matches no bundled benchmark or corpus fixture",
             path.display()
         );
     }

@@ -36,7 +36,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use si_boolean::{parse_eqn, GateLibrary};
-use si_stg::{parse_astg, MgStg, SignalId, StateGraph, Stg};
+use si_stg::{MgStg, SignalId, StateGraph, Stg};
 
 use crate::cache::{CacheStats, ConformanceCache, ProjCache, SgCache};
 use crate::check::{classify_states, prerequisite_sets, RelaxationCase};
@@ -533,10 +533,49 @@ impl Engine {
     /// extra stages, plus everything [`Engine::run`] reports.
     pub fn run_source(&self, stg_text: &str, eqn_text: &str) -> Result<EngineReport, CoreError> {
         let started = Instant::now();
+        let t = Instant::now();
+        let parsed = si_stg::parse_astg_lenient(stg_text);
+        let lenient_wall = t.elapsed();
+        self.run_parsed(parsed, lenient_wall, eqn_text, started)
+    }
 
-        // Stage: lint — the static pre-flight over the raw source. It
-        // sees *every* defect in one pass (the lenient parser recovers),
-        // where the strict parse below stops at the first.
+    /// Runs the pipeline from an already-produced [`si_stg::ParseEvent`]
+    /// stream — the entry point for the streaming front-end, where a
+    /// server feeds `.g` chunks through an
+    /// [`si_stg::EventParser`] (or replays an interchange dump via
+    /// [`si_stg::sexp::read_events`]) instead of handing over one string.
+    /// The events are folded into the same lenient parse
+    /// [`Engine::run_source`] builds, so the output — lint findings,
+    /// stage list, constraints — is identical.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Engine::run_source`].
+    pub fn run_events(
+        &self,
+        events: &[si_stg::ParseEvent],
+        eqn_text: &str,
+    ) -> Result<EngineReport, CoreError> {
+        let started = Instant::now();
+        let t = Instant::now();
+        let parsed = si_stg::tree_of_events(events);
+        let lenient_wall = t.elapsed();
+        self.run_parsed(parsed, lenient_wall, eqn_text, started)
+    }
+
+    /// Shared tail of [`Engine::run_source`]/[`Engine::run_events`]: one
+    /// lenient parse feeds both the lint pre-flight and the strict gate,
+    /// so the two entry points cannot drift apart.
+    fn run_parsed(
+        &self,
+        parsed: si_stg::LenientParse,
+        lenient_wall: std::time::Duration,
+        eqn_text: &str,
+        started: Instant,
+    ) -> Result<EngineReport, CoreError> {
+        // Stage: lint — the static pre-flight over the recovered parse.
+        // It sees *every* defect in one pass (the lenient parser
+        // recovers), where the strict gate below stops at the first.
         let t = Instant::now();
         let lint = if self.config.lint == LintPolicy::Off {
             si_lint::LintReport::default()
@@ -544,7 +583,7 @@ impl Engine {
             let opts = si_lint::LintOptions {
                 state_budget: Some(self.config.global_sg_budget),
             };
-            si_lint::lint_text_with(stg_text, &opts)
+            si_lint::lint_parsed(&parsed, &opts)
         };
         let lint_metrics = StageMetrics::timed(Stage::Lint, t.elapsed());
         if self.config.lint == LintPolicy::Deny && lint.has_errors() {
@@ -560,17 +599,22 @@ impl Engine {
             });
         }
 
+        // Strict gate: the first fatal defect fails the run, exactly as
+        // `parse_astg` always has.
         let t = Instant::now();
-        let stg = parse_astg(stg_text).map_err(|e| CoreError::Parse {
-            what: "STG",
-            detail: e.to_string(),
-        })?;
+        if let Some(e) = parsed.first_fatal() {
+            return Err(CoreError::Parse {
+                what: "STG",
+                detail: e.to_string(),
+            });
+        }
+        let stg = parsed.stg;
         let netlist = parse_eqn(eqn_text).map_err(|e| CoreError::Parse {
             what: "EQN netlist",
             detail: e.to_string(),
         })?;
         let library = GateLibrary::from_netlist(&netlist);
-        let parse_metrics = StageMetrics::timed(Stage::Parse, t.elapsed());
+        let parse_metrics = StageMetrics::timed(Stage::Parse, lenient_wall + t.elapsed());
 
         let t = Instant::now();
         let health = stg.validate(self.config.global_sg_budget)?;
@@ -909,6 +953,7 @@ impl Engine {
 mod tests {
     use super::*;
     use crate::report::derive_timing_constraints;
+    use si_stg::parse_astg;
 
     const CELEM: &str = "\
 .model celem
@@ -1033,6 +1078,21 @@ b- a+
             .collect();
         assert_eq!(reports[0], reports[1]);
         assert_eq!(reports[1], reports[2]);
+    }
+
+    #[test]
+    fn run_events_matches_run_source() {
+        // Feeding a pre-parsed event stream must land on the same report
+        // and the same seven stages as parsing the text in-process.
+        let engine = Engine::new(EngineConfig::default());
+        let from_text = engine.run_source(CELEM, CELEM_EQN).expect("derives");
+        let events = si_stg::parse_events(CELEM);
+        let from_events = engine.run_events(&events, CELEM_EQN).expect("derives");
+        assert_eq!(from_events.report, from_text.report);
+        assert_eq!(from_events.lint.diagnostics, from_text.lint.diagnostics);
+        let stages =
+            |out: &EngineReport| -> Vec<Stage> { out.stages.iter().map(|s| s.stage).collect() };
+        assert_eq!(stages(&from_events), stages(&from_text));
     }
 
     #[test]

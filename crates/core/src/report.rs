@@ -120,6 +120,51 @@ impl ConstraintReport {
         }
         s
     }
+
+    /// Renders the report in the S-expression interchange format
+    /// (`docs/interchange.md`): a `constraint-report` document carrying
+    /// the same stable content as [`Self::snapshot`] — counts, both
+    /// constraint sets, the per-gate verdicts and the relaxation trace —
+    /// with every volatile field excluded. Constraints and trace events
+    /// ride as quoted strings in their `Display` form.
+    #[must_use]
+    pub fn sexp(&self) -> String {
+        let mut w = si_stg::sexp::SexpWriter::new("constraint-report");
+        w.open("constraint-report");
+        w.open("state-count");
+        w.atom(&self.state_count.to_string());
+        w.close();
+        w.open("iterations");
+        w.atom(&self.iterations.to_string());
+        w.close();
+        let set = |w: &mut si_stg::sexp::SexpWriter, head: &str, set: &BTreeSet<Constraint>| {
+            w.open(head);
+            for c in set {
+                w.open("constraint");
+                w.string(&c.to_string());
+                w.close();
+            }
+            w.close();
+        };
+        set(&mut w, "baseline", &self.baseline);
+        set(&mut w, "constraints", &self.constraints);
+        for gate in &self.per_gate {
+            w.open("gate");
+            w.string(&gate.gate);
+            set(&mut w, "baseline", &gate.baseline);
+            set(&mut w, "derived", &gate.derived);
+            w.close();
+        }
+        w.open("trace");
+        for event in &self.trace {
+            w.open("event");
+            w.string(&event.to_string());
+            w.close();
+        }
+        w.close();
+        w.close();
+        w.finish()
+    }
 }
 
 fn atom_label(stg: &Stg, a: &ConstraintAtom) -> Option<si_stg::TransitionLabel> {

@@ -46,13 +46,26 @@ fn render_text_one(out: &mut String, d: &Diagnostic, source: &str, origin: &str)
             let pad = " ".repeat(gutter.len());
             let _ = writeln!(out, " {pad} |");
             let _ = writeln!(out, " {gutter} | {text}");
-            // Caret under the span, clamped to the visible line.
+            // Caret under the span, clamped to the visible line. Columns
+            // count characters, so the caret prefix is built per character
+            // (tabs kept as tabs to stay aligned under tab-indented lines)
+            // and the caret width counts characters of the spanned text,
+            // not bytes — multi-byte names get one caret per glyph.
             let col = span.col.max(1);
-            let width = span
-                .len()
-                .max(1)
-                .min(text.len().saturating_sub(col - 1).max(1));
-            let _ = writeln!(out, " {pad} | {}{}", " ".repeat(col - 1), "^".repeat(width));
+            let prefix: String = text
+                .chars()
+                .take(col - 1)
+                .map(|c| if c == '\t' { '\t' } else { ' ' })
+                .collect();
+            let byte_off = text
+                .char_indices()
+                .nth(col - 1)
+                .map_or(text.len(), |(i, _)| i);
+            let span_text = text
+                .get(byte_off..(byte_off + span.len()).min(text.len()))
+                .unwrap_or("");
+            let width = span_text.chars().count().max(1);
+            let _ = writeln!(out, " {pad} | {prefix}{}", "^".repeat(width));
         }
     }
     for r in &d.related {
@@ -141,6 +154,47 @@ fn json_diagnostic(d: &Diagnostic, indent: &str) -> String {
     format!("{indent}{{\n{}\n{indent}}}", body.join(",\n"))
 }
 
+/// Renders a complete report as a `lint-report` document in the
+/// S-expression interchange format (`docs/interchange.md`). Spans ride in
+/// the same `[start, end, line, col]` shape the parse-tree dumps use.
+pub fn render_sexp(report: &LintReport, origin: &str) -> String {
+    let mut w = si_stg::sexp::SexpWriter::new("lint-report");
+    w.open("lint-report");
+    w.string(origin);
+    w.open("model");
+    w.string(&report.model);
+    w.close();
+    w.open("errors");
+    w.atom(&report.error_count().to_string());
+    w.close();
+    w.open("warnings");
+    w.atom(&report.warning_count().to_string());
+    w.close();
+    for d in &report.diagnostics {
+        w.open("diagnostic");
+        w.atom(&d.code.to_string());
+        w.atom(&d.severity.to_string());
+        if let Some(span) = d.span {
+            w.span(span);
+        }
+        w.string(&d.message);
+        for r in &d.related {
+            w.open("related");
+            w.span(r.span);
+            w.string(&r.message);
+            w.close();
+        }
+        if let Some(fix) = &d.fix {
+            w.open("fix");
+            w.string(fix);
+            w.close();
+        }
+        w.close();
+    }
+    w.close();
+    w.finish()
+}
+
 /// Renders a complete report as a standalone JSON document.
 pub fn render_json(report: &LintReport, origin: &str) -> String {
     format!(
@@ -224,5 +278,72 @@ mod tests {
     fn json_escaping_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn caret_aligns_on_multibyte_and_tabbed_lines() {
+        // `möde+ äck+` — `äck` starts at character column 7 but byte 8,
+        // and `äck+` is 4 characters but 5 bytes. The caret must use the
+        // character measures on both axes.
+        let source = ".model x\n.inputs m\u{f6}de\n.graph\nm\u{f6}de+ \u{e4}ck+\n.end\n";
+        let span = Span {
+            start: 30,
+            end: 35,
+            line: 4,
+            col: 7,
+        };
+        let report = LintReport {
+            model: "x".into(),
+            diagnostics: vec![Diagnostic::new(
+                Code::SI004,
+                Severity::Error,
+                Some(span),
+                "undeclared signal `\u{e4}ck`",
+            )],
+        };
+        let text = render_text(&report, source, "spec.g");
+        assert!(text.contains(" 4 | m\u{f6}de+ \u{e4}ck+"), "{text}");
+        assert!(text.contains("   |       ^^^^"), "{text}");
+        // A tab-indented line keeps its tab in the caret prefix so the
+        // carets stay under the span in any tab-width rendering.
+        let tabbed = ".model x\n.graph\n\ta+ b+\n.end\n";
+        let tspan = Span {
+            start: 20,
+            end: 22,
+            line: 3,
+            col: 5,
+        };
+        let treport = LintReport {
+            model: "x".into(),
+            diagnostics: vec![Diagnostic::new(
+                Code::SI004,
+                Severity::Error,
+                Some(tspan),
+                "undeclared signal `b`",
+            )],
+        };
+        let ttext = render_text(&treport, tabbed, "spec.g");
+        assert!(ttext.contains(" 3 | \ta+ b+"), "{ttext}");
+        assert!(ttext.contains("   | \t   ^^"), "{ttext}");
+    }
+
+    #[test]
+    fn sexp_renderer_round_trips_the_report_shape() {
+        let (report, _) = sample();
+        let sexp = render_sexp(&report, "spec.g");
+        assert!(sexp.starts_with("; si-sexp 1 lint-report\n"), "{sexp}");
+        assert!(sexp.contains("(lint-report \"spec.g\""), "{sexp}");
+        assert!(sexp.contains("(errors 1)"), "{sexp}");
+        assert!(
+            sexp.contains("(diagnostic SI004 error [30, 32, 4, 4] \"undeclared signal `b`\""),
+            "{sexp}"
+        );
+        assert!(sexp.contains("(fix \"declare `b`"), "{sexp}");
+        // Balanced parens outside string payloads.
+        let bare: String = sexp.split('"').step_by(2).collect::<Vec<_>>().join("");
+        assert_eq!(
+            bare.chars().filter(|&c| c == '(').count(),
+            bare.chars().filter(|&c| c == ')').count()
+        );
     }
 }

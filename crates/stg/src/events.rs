@@ -1,0 +1,341 @@
+//! The event-stream layer of the `.g` front-end: [`Token`]s from the
+//! [`Lexer`](crate::lexer::Lexer) in, a flat stream of [`ParseEvent`]s
+//! out. Every fact the lenient parser reports — section structure for
+//! [`SpecSpans`](crate::parse::SpecSpans), declaration and node tokens,
+//! every syntactic [`ParseAstgError`](crate::parse::ParseAstgError) —
+//! rides the stream in source order, so folding it (see
+//! [`TreeBuilder`](crate::tree::TreeBuilder)) reproduces the single-pass
+//! parser bit for bit, and serializing it (see [`crate::sexp`]) loses
+//! nothing.
+
+use crate::lexer::{Lexer, Token, TokenKind};
+use crate::parse::{ParseAstgError, ParseErrorKind, Span};
+
+/// The kind of a structural node in the parse tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseNodeKind {
+    /// The whole specification.
+    Document,
+    /// A `.model` line.
+    Model,
+    /// A `.inputs` declaration line.
+    Inputs,
+    /// A `.outputs` declaration line.
+    Outputs,
+    /// An `.internal` declaration line.
+    Internal,
+    /// The `.graph` section (from its directive to the next section).
+    Graph,
+    /// One content line inside the `.graph` section.
+    GraphLine,
+    /// The `.marking` line.
+    Marking,
+}
+
+impl ParseNodeKind {
+    /// The node's interchange name (the head atom in sexp dumps).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Document => "document",
+            Self::Model => "model",
+            Self::Inputs => "inputs",
+            Self::Outputs => "outputs",
+            Self::Internal => "internal",
+            Self::Graph => "graph",
+            Self::GraphLine => "line",
+            Self::Marking => "marking",
+        }
+    }
+}
+
+/// One event of the streaming front-end. `Open`/`Close` pairs nest
+/// (document ⊃ sections ⊃ graph lines); `Token` carries the payload
+/// words; `Defect` carries a lenient-parse diagnostic at its exact
+/// position in the stream — defect *order* is part of the contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseEvent {
+    /// A structural node opens at `span`.
+    Open {
+        /// What opens.
+        kind: ParseNodeKind,
+        /// The directive/line span recorded in
+        /// [`SpecSpans`](crate::parse::SpecSpans).
+        span: Span,
+    },
+    /// The innermost open node of `kind` closes.
+    Close {
+        /// What closes.
+        kind: ParseNodeKind,
+    },
+    /// A payload token ([`TokenKind::Model`], [`TokenKind::Name`],
+    /// [`TokenKind::Node`] or [`TokenKind::MarkingEntry`]).
+    Token(Token),
+    /// A syntactic defect, in stream order.
+    Defect(ParseAstgError),
+}
+
+/// Streams [`ParseEvent`]s from `.g` chunks: an incremental
+/// [`Lexer`] plus the structural bookkeeping that turns its flat token
+/// list into a nested open/close stream.
+#[derive(Debug, Default)]
+pub struct EventParser {
+    lexer: Lexer,
+    /// Scratch token buffer, reused across feeds.
+    tokens: Vec<Token>,
+    /// Open nodes above the document, innermost last.
+    stack: Vec<ParseNodeKind>,
+    /// Whether `Open(Document)` was emitted.
+    started: bool,
+    /// Whether a `.graph` directive was seen (else `finish` reports the
+    /// missing-section defect, after everything else — matching the
+    /// single-pass parser).
+    saw_graph: bool,
+}
+
+impl EventParser {
+    /// A fresh event parser.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            lexer: Lexer::new(),
+            tokens: Vec::new(),
+            stack: Vec::new(),
+            started: false,
+            saw_graph: false,
+        }
+    }
+
+    /// Feeds one chunk and returns the events it completes. Chunks may
+    /// split anywhere on a UTF-8 boundary.
+    pub fn feed(&mut self, chunk: &str) -> Vec<ParseEvent> {
+        let mut out = Vec::new();
+        self.start(&mut out);
+        let mut tokens = std::mem::take(&mut self.tokens);
+        tokens.clear();
+        self.lexer.feed(chunk, &mut tokens);
+        for token in tokens.drain(..) {
+            self.token(token, &mut out);
+        }
+        self.tokens = tokens;
+        out
+    }
+
+    /// Flushes the final line, closes every open node and ends the
+    /// document.
+    pub fn finish(mut self) -> Vec<ParseEvent> {
+        let mut out = Vec::new();
+        self.start(&mut out);
+        let lexer = std::mem::take(&mut self.lexer);
+        let mut tokens = std::mem::take(&mut self.tokens);
+        lexer.finish(&mut tokens);
+        for token in tokens.drain(..) {
+            self.token(token, &mut out);
+        }
+        self.close_to(false, &mut out);
+        if !self.saw_graph {
+            out.push(ParseEvent::Defect(ParseAstgError {
+                kind: ParseErrorKind::Syntax,
+                span: Span::point(0, 1, 1),
+                message: "missing `.graph` section".to_string(),
+            }));
+        }
+        out.push(ParseEvent::Close {
+            kind: ParseNodeKind::Document,
+        });
+        out
+    }
+
+    fn start(&mut self, out: &mut Vec<ParseEvent>) {
+        if !self.started {
+            self.started = true;
+            out.push(ParseEvent::Open {
+                kind: ParseNodeKind::Document,
+                span: Span::point(0, 1, 1),
+            });
+        }
+    }
+
+    /// Closes open nodes, innermost first, stopping at the document.
+    /// With `keep_graph`, an open `.graph` section survives — per-line
+    /// nodes close at the next line, the section only at `.marking`,
+    /// another `.graph`, `.end` or EOF (mirroring the single-pass
+    /// parser's `in_graph` flag).
+    fn close_to(&mut self, keep_graph: bool, out: &mut Vec<ParseEvent>) {
+        while let Some(&kind) = self.stack.last() {
+            if keep_graph && kind == ParseNodeKind::Graph {
+                break;
+            }
+            self.stack.pop();
+            out.push(ParseEvent::Close { kind });
+        }
+    }
+
+    fn open(&mut self, kind: ParseNodeKind, span: Span, out: &mut Vec<ParseEvent>) {
+        self.stack.push(kind);
+        out.push(ParseEvent::Open { kind, span });
+    }
+
+    fn defect(kind: ParseErrorKind, span: Span, message: String, out: &mut Vec<ParseEvent>) {
+        out.push(ParseEvent::Defect(ParseAstgError {
+            kind,
+            span,
+            message,
+        }));
+    }
+
+    fn token(&mut self, token: Token, out: &mut Vec<ParseEvent>) {
+        match token.kind {
+            TokenKind::Model => {
+                self.close_to(true, out);
+                self.open(ParseNodeKind::Model, token.span, out);
+                out.push(ParseEvent::Token(token));
+            }
+            TokenKind::Decl(kind) => {
+                self.close_to(true, out);
+                let node = match kind {
+                    crate::signal::SignalKind::Input => ParseNodeKind::Inputs,
+                    crate::signal::SignalKind::Output => ParseNodeKind::Outputs,
+                    crate::signal::SignalKind::Internal => ParseNodeKind::Internal,
+                };
+                self.open(node, token.span, out);
+            }
+            TokenKind::Name | TokenKind::Node | TokenKind::MarkingEntry => {
+                out.push(ParseEvent::Token(token));
+            }
+            TokenKind::Graph => {
+                self.close_to(false, out);
+                self.saw_graph = true;
+                self.open(ParseNodeKind::Graph, token.span, out);
+            }
+            TokenKind::GraphLine => {
+                self.close_to(true, out);
+                self.open(ParseNodeKind::GraphLine, token.span, out);
+            }
+            TokenKind::Marking => {
+                self.close_to(false, out);
+                self.open(ParseNodeKind::Marking, token.span, out);
+            }
+            TokenKind::MarkingMalformed => Self::defect(
+                ParseErrorKind::Syntax,
+                token.span,
+                "marking must be wrapped in `{ ... }`".to_string(),
+                out,
+            ),
+            TokenKind::Dummy => {
+                self.close_to(true, out);
+                Self::defect(
+                    ParseErrorKind::DummyUnsupported,
+                    token.span,
+                    "`.dummy` transitions are not supported".to_string(),
+                    out,
+                );
+            }
+            TokenKind::Unknown => {
+                self.close_to(true, out);
+                Self::defect(
+                    ParseErrorKind::UnknownSection,
+                    token.span,
+                    format!("unknown section `{}`", token.text),
+                    out,
+                );
+            }
+            TokenKind::Junk => {
+                self.close_to(true, out);
+                Self::defect(
+                    ParseErrorKind::Syntax,
+                    token.span,
+                    format!("unexpected line outside `.graph`: `{}`", token.text),
+                    out,
+                );
+            }
+            TokenKind::End => self.close_to(false, out),
+        }
+    }
+}
+
+/// The full event stream of `text` in one shot — the streaming
+/// front-end's equivalent of handing the source to the parser whole.
+#[must_use]
+pub fn parse_events(text: &str) -> Vec<ParseEvent> {
+    let mut parser = EventParser::new();
+    let mut out = parser.feed(text);
+    out.extend(parser.finish());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_stream_brackets_sections_and_orders_defects() {
+        let events =
+            parse_events(".model m\n.inputs a\n.graph\na+ a-\nstray\n.marking { <a-,a+> }\n.end\n");
+        assert!(matches!(
+            events.first(),
+            Some(ParseEvent::Open {
+                kind: ParseNodeKind::Document,
+                ..
+            })
+        ));
+        assert!(matches!(
+            events.last(),
+            Some(ParseEvent::Close {
+                kind: ParseNodeKind::Document
+            })
+        ));
+        let opens: Vec<ParseNodeKind> = events
+            .iter()
+            .filter_map(|e| match e {
+                ParseEvent::Open { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            opens,
+            vec![
+                ParseNodeKind::Document,
+                ParseNodeKind::Model,
+                ParseNodeKind::Inputs,
+                ParseNodeKind::Graph,
+                ParseNodeKind::GraphLine,
+                ParseNodeKind::GraphLine,
+                ParseNodeKind::Marking,
+            ]
+        );
+        // `stray` is inside `.graph`, so it is a graph line, not junk.
+        assert!(events.iter().all(|e| !matches!(e, ParseEvent::Defect(_))));
+    }
+
+    #[test]
+    fn a_missing_graph_section_is_reported_last() {
+        let events = parse_events(".model m\n");
+        let defects: Vec<&ParseAstgError> = events
+            .iter()
+            .filter_map(|e| match e {
+                ParseEvent::Defect(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(defects.len(), 1);
+        assert_eq!(defects[0].message, "missing `.graph` section");
+        // It precedes only the document close.
+        assert!(matches!(events[events.len() - 2], ParseEvent::Defect(_)));
+    }
+
+    #[test]
+    fn every_open_has_a_matching_close() {
+        let events = parse_events(".inputs a\n.graph\na+ a-\n.marking{}\n");
+        let mut depth = 0i64;
+        for event in &events {
+            match event {
+                ParseEvent::Open { .. } => depth += 1,
+                ParseEvent::Close { .. } => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+    }
+}

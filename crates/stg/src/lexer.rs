@@ -1,0 +1,385 @@
+//! The incremental lexer of the `.g` front-end: feeds of `&str` chunks in,
+//! spanned [`Token`]s out — no whole-input requirement, so a server mode
+//! can stream large specifications.
+//!
+//! The lexer is line-oriented (the `.g` format anchors every construct to
+//! a line) and mode-aware: directive classification decides how the rest
+//! of the line is tokenized (`.model` keeps its whole trimmed rest as one
+//! name, `.marking` bodies group `<a+,b->` entries with their internal
+//! whitespace, declaration and graph lines split on whitespace). Line
+//! endings are normalized in this layer: CRLF becomes LF before any span
+//! is computed, so a CRLF specification produces byte-for-byte the same
+//! tokens — spans included — as its LF twin (see [`normalize_source`] for
+//! the text those spans index). Columns count **characters**, not bytes,
+//! so diagnostics align on non-ASCII names.
+
+use std::borrow::Cow;
+
+use crate::parse::Span;
+use crate::signal::SignalKind;
+
+/// What a [`Token`] is. Line-marker kinds (`Model`, `Decl`, `Graph`,
+/// `GraphLine`, `Marking`, `Dummy`, `Unknown`, `Junk`, `End`,
+/// `MarkingMalformed`) carry the classification of a whole line; the
+/// payload kinds (`Name`, `Node`, `MarkingEntry`) carry one
+/// whitespace-delimited word each and follow their line's marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A `.model` line; the token text is the trimmed rest (the model
+    /// name — possibly empty, possibly containing spaces).
+    Model,
+    /// A `.inputs`/`.outputs`/`.internal` line marker (span = line).
+    Decl(SignalKind),
+    /// One declared signal name on a declaration line.
+    Name,
+    /// The `.graph` line.
+    Graph,
+    /// A content line inside the `.graph` section (span = line); the
+    /// line's [`TokenKind::Node`] tokens follow.
+    GraphLine,
+    /// One node (`req+`, `csc0-/2`, explicit place name) on a graph line.
+    Node,
+    /// A `.marking` line marker (span = line).
+    Marking,
+    /// One marking entry, raw (`p0`, `<a+,b->`, `<a+,b->=2`).
+    MarkingEntry,
+    /// A `.marking` body not wrapped in `{ ... }` (span = trimmed rest).
+    MarkingMalformed,
+    /// A `.dummy` line (unsupported by the thesis flow).
+    Dummy,
+    /// An unrecognized `.section` line; the token text is the trimmed
+    /// line.
+    Unknown,
+    /// A non-directive line outside the `.graph` section; the token text
+    /// is the trimmed line.
+    Junk,
+    /// The `.end` line: lexing stops here, as the parser always has.
+    End,
+}
+
+/// One spanned token. The text is owned so downstream layers (events,
+/// tree builder, interchange dumps) never need the source buffer — the
+/// property that makes the front-end streamable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The token's text (empty for pure markers).
+    pub text: String,
+    /// Where it lives in the (CRLF-normalized) source.
+    pub span: Span,
+}
+
+/// The text a [`Lexer`]'s spans index: the input with CRLF line endings
+/// normalized to LF. Borrowed (free) when the input already is LF-only.
+#[must_use]
+pub fn normalize_source(text: &str) -> Cow<'_, str> {
+    if text.contains("\r\n") {
+        Cow::Owned(text.replace("\r\n", "\n"))
+    } else {
+        Cow::Borrowed(text)
+    }
+}
+
+/// The incremental `.g` lexer. Feed chunks with [`Lexer::feed`] (complete
+/// lines are tokenized as soon as their newline arrives; a partial tail
+/// is buffered), then flush the final unterminated line with
+/// [`Lexer::finish`].
+#[derive(Debug, Default)]
+pub struct Lexer {
+    /// The buffered partial line (no newline seen yet).
+    buf: String,
+    /// Byte offset of `buf` in the normalized source.
+    abs: usize,
+    /// 1-based line number of `buf`.
+    line: usize,
+    /// Whether we are inside the `.graph` section.
+    in_graph: bool,
+    /// Whether `.end` was seen (everything after is ignored).
+    done: bool,
+}
+
+impl Lexer {
+    /// A fresh lexer at offset 0, line 1.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buf: String::new(),
+            abs: 0,
+            line: 1,
+            in_graph: false,
+            done: false,
+        }
+    }
+
+    /// Feeds one chunk, appending the tokens of every line the chunk
+    /// completes to `out`. Chunks may split lines — and even CRLF pairs —
+    /// anywhere on a UTF-8 boundary.
+    pub fn feed(&mut self, chunk: &str, out: &mut Vec<Token>) {
+        self.buf.push_str(chunk);
+        while let Some(pos) = self.buf.find('\n') {
+            let rest = self.buf.split_off(pos + 1);
+            let mut raw = std::mem::replace(&mut self.buf, rest);
+            raw.pop(); // the '\n'
+            if raw.ends_with('\r') {
+                raw.pop(); // CRLF → LF: spans index the normalized text
+            }
+            let (abs, lineno) = (self.abs, self.line);
+            self.abs += raw.len() + 1;
+            self.line += 1;
+            if !self.done {
+                self.lex_line(&raw, abs, lineno, out);
+            }
+        }
+    }
+
+    /// Flushes the final line when the input does not end in a newline.
+    pub fn finish(mut self, out: &mut Vec<Token>) {
+        if !self.buf.is_empty() && !self.done {
+            let raw = std::mem::take(&mut self.buf);
+            self.lex_line(&raw, self.abs, self.line, out);
+        }
+    }
+
+    /// Classifies and tokenizes one complete (newline-free) line.
+    fn lex_line(&mut self, raw: &str, abs: usize, lineno: usize, out: &mut Vec<Token>) {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return;
+        }
+        let lead = raw.len() - raw.trim_start().len();
+        let lead_chars = raw[..lead].chars().count();
+        let line_span = Span {
+            start: abs + lead,
+            end: abs + lead + line.len(),
+            line: lineno,
+            col: lead_chars + 1,
+        };
+        let marker = |kind: TokenKind, text: &str| Token {
+            kind,
+            text: text.to_string(),
+            span: line_span,
+        };
+
+        if let Some(rest) = line.strip_prefix(".model") {
+            out.push(marker(TokenKind::Model, rest.trim()));
+            return;
+        }
+        if line.starts_with(".dummy") {
+            out.push(marker(TokenKind::Dummy, ""));
+            return;
+        }
+        for (directive, kind) in [
+            (".inputs", SignalKind::Input),
+            (".outputs", SignalKind::Output),
+            (".internal", SignalKind::Internal),
+        ] {
+            if let Some(rest) = line.strip_prefix(directive) {
+                out.push(marker(TokenKind::Decl(kind), ""));
+                words(
+                    rest,
+                    abs + lead + directive.len(),
+                    lead_chars + directive.len(),
+                    lineno,
+                    TokenKind::Name,
+                    out,
+                );
+                return;
+            }
+        }
+        if line == ".graph" {
+            self.in_graph = true;
+            out.push(marker(TokenKind::Graph, ""));
+            return;
+        }
+        if let Some(rest) = line.strip_prefix(".marking") {
+            self.in_graph = false;
+            out.push(marker(TokenKind::Marking, ""));
+            lex_marking(
+                rest,
+                abs + lead + ".marking".len(),
+                lead_chars + ".marking".len(),
+                lineno,
+                out,
+            );
+            return;
+        }
+        if line == ".end" {
+            self.done = true;
+            out.push(marker(TokenKind::End, ""));
+            return;
+        }
+        if line.starts_with('.') {
+            out.push(marker(TokenKind::Unknown, line));
+            return;
+        }
+        if !self.in_graph {
+            out.push(marker(TokenKind::Junk, line));
+            return;
+        }
+        out.push(marker(TokenKind::GraphLine, ""));
+        words(line, abs + lead, lead_chars, lineno, TokenKind::Node, out);
+    }
+}
+
+/// Whitespace-separated words of `s` as `kind` tokens. `abs` is the byte
+/// offset of `s` in the normalized source, `col0` the number of
+/// characters preceding `s` on its line, `lineno` the 1-based line.
+fn words(s: &str, abs: usize, col0: usize, lineno: usize, kind: TokenKind, out: &mut Vec<Token>) {
+    let mut start: Option<(usize, usize)> = None; // (byte, char) of word start
+    for (chars_seen, (i, c)) in s.char_indices().enumerate() {
+        if c.is_whitespace() {
+            if let Some((b, bc)) = start.take() {
+                out.push(Token {
+                    kind,
+                    text: s[b..i].to_string(),
+                    span: Span {
+                        start: abs + b,
+                        end: abs + i,
+                        line: lineno,
+                        col: col0 + bc + 1,
+                    },
+                });
+            }
+        } else if start.is_none() {
+            start = Some((i, chars_seen));
+        }
+    }
+    if let Some((b, bc)) = start {
+        out.push(Token {
+            kind,
+            text: s[b..].to_string(),
+            span: Span {
+                start: abs + b,
+                end: abs + s.len(),
+                line: lineno,
+                col: col0 + bc + 1,
+            },
+        });
+    }
+}
+
+/// Tokenizes the body of a `.marking` line: `<a+,b->` groups (optionally
+/// `=k`, internal whitespace allowed inside the angle brackets) and bare
+/// place names. A body not wrapped in `{ ... }` yields one
+/// [`TokenKind::MarkingMalformed`] marker spanning the trimmed rest.
+fn lex_marking(rest: &str, abs: usize, col0: usize, lineno: usize, out: &mut Vec<Token>) {
+    let trimmed = rest.trim();
+    let lead = rest.len() - rest.trim_start().len();
+    let lead_chars = rest[..lead].chars().count();
+    let body = trimmed.strip_prefix('{').and_then(|b| b.strip_suffix('}'));
+    let Some(body) = body else {
+        out.push(Token {
+            kind: TokenKind::MarkingMalformed,
+            text: String::new(),
+            span: Span {
+                start: abs + lead,
+                end: abs + lead + trimmed.len(),
+                line: lineno,
+                col: col0 + lead_chars + 1,
+            },
+        });
+        return;
+    };
+    let body_abs = abs + lead + 1;
+    let body_col0 = col0 + lead_chars + 1;
+
+    let cis: Vec<(usize, char)> = body.char_indices().collect();
+    let mut idx = 0usize;
+    while idx < cis.len() {
+        let (start, c) = cis[idx];
+        if c.is_whitespace() {
+            idx += 1;
+            continue;
+        }
+        let start_chars = idx;
+        let mut end = start;
+        if c == '<' {
+            while idx < cis.len() {
+                let (i, ch) = cis[idx];
+                end = i + ch.len_utf8();
+                idx += 1;
+                if ch == '>' {
+                    break;
+                }
+            }
+        }
+        while idx < cis.len() {
+            let (i, ch) = cis[idx];
+            if ch.is_whitespace() || ch == '<' {
+                break;
+            }
+            end = i + ch.len_utf8();
+            idx += 1;
+        }
+        let token = &body[start..end];
+        if token.is_empty() {
+            break;
+        }
+        out.push(Token {
+            kind: TokenKind::MarkingEntry,
+            text: token.to_string(),
+            span: Span {
+                start: body_abs + start,
+                end: body_abs + end,
+                line: lineno,
+                col: body_col0 + start_chars + 1,
+            },
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(text: &str) -> Vec<Token> {
+        let mut lexer = Lexer::new();
+        let mut out = Vec::new();
+        lexer.feed(text, &mut out);
+        lexer.finish(&mut out);
+        out
+    }
+
+    #[test]
+    fn chunk_boundaries_are_invisible() {
+        let text = ".model x\r\n.inputs a b\n.graph\na+ b+\n.end\n";
+        let whole = lex(text);
+        for step in 1..=5 {
+            let mut lexer = Lexer::new();
+            let mut out = Vec::new();
+            let chars: Vec<char> = text.chars().collect();
+            for chunk in chars.chunks(step) {
+                lexer.feed(&chunk.iter().collect::<String>(), &mut out);
+            }
+            lexer.finish(&mut out);
+            assert_eq!(out, whole, "chunk step {step}");
+        }
+    }
+
+    #[test]
+    fn crlf_lines_lex_like_lf_lines() {
+        let lf = ".model x\n.inputs a\n.graph\na+ a-\n.end\n";
+        let crlf = lf.replace('\n', "\r\n");
+        assert_eq!(lex(&crlf), lex(lf));
+    }
+
+    #[test]
+    fn columns_count_characters_not_bytes() {
+        // `möde+ ` is six characters (seven bytes): `äck+` starts at
+        // character column 7.
+        let toks = lex(".graph\nmöde+ äck+\n");
+        let nodes: Vec<&Token> = toks.iter().filter(|t| t.kind == TokenKind::Node).collect();
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[1].text, "äck+");
+        assert_eq!(nodes[1].span.col, 7);
+        assert_eq!(nodes[1].span.start, 14); // bytes still index the text
+    }
+
+    #[test]
+    fn everything_after_end_is_ignored() {
+        let toks = lex(".graph\n.end\n.inputs a\njunk\n");
+        assert_eq!(toks.last().map(|t| t.kind), Some(TokenKind::End));
+        assert_eq!(toks.len(), 2);
+    }
+}

@@ -13,14 +13,29 @@
 //! edit's successor graph from its predecessor's — and implements the local-STG
 //! projection of Algorithm 1 together with the shortcut-place redundancy
 //! check of Algorithm 3.
+//!
+//! The `.g` front-end is layered for streaming: the incremental
+//! [`Lexer`] yields spanned tokens from `&str` chunks, the
+//! [`EventParser`] turns them into a nested [`ParseEvent`] stream, and
+//! the [`TreeBuilder`] folds that stream into the [`LenientParse`] the
+//! [`parse_astg`]/[`parse_astg_lenient`] facades return. The [`sexp`]
+//! module serializes event streams (plus state graphs) into a lossless,
+//! language-neutral S-expression interchange format and reads parse-tree
+//! dumps back into events — see `docs/interchange.md`.
 
+mod events;
+mod lexer;
 mod mg;
 mod parse;
 mod project;
+pub mod sexp;
 mod sg;
 mod signal;
 mod stg;
+mod tree;
 
+pub use events::{parse_events, EventParser, ParseEvent, ParseNodeKind};
+pub use lexer::{normalize_source, Lexer, Token, TokenKind};
 pub use mg::{ArcAttr, ArcDelta, MgStg, SgKey};
 pub use parse::{
     parse_astg, parse_astg_lenient, write_astg, LenientParse, ParseAstgError, ParseErrorKind, Span,
@@ -29,3 +44,4 @@ pub use parse::{
 pub use sg::{SgMap, SgState, StateGraph};
 pub use signal::{Polarity, SignalId, SignalKind, TransitionLabel};
 pub use stg::{Stg, StgError, StgHealth};
+pub use tree::{tree_of_events, TreeBuilder};

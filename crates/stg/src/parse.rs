@@ -8,7 +8,10 @@
 //! transitions create an implicit place, markable as `<t1,t2>` in the
 //! marking section.
 //!
-//! Two entry points share one implementation:
+//! Two entry points share one implementation — both are thin facades
+//! over the layered streaming front-end (the incremental
+//! [`Lexer`](crate::lexer::Lexer), the [`ParseEvent`](crate::events::ParseEvent)
+//! stream, and the [`TreeBuilder`](crate::tree::TreeBuilder) fold):
 //!
 //! - [`parse_astg`] — strict: stops at the first fatal defect and returns
 //!   it as a [`ParseAstgError`] carrying a byte [`Span`] with 1-based
@@ -21,17 +24,20 @@
 //!   in the source — the front-end the `si-lint` static analyzer builds
 //!   its diagnostics on.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
 use si_petri::{PlaceId, TransitionId};
 
-use crate::signal::{Polarity, SignalKind, TransitionLabel};
+use crate::signal::SignalKind;
 use crate::stg::Stg;
 
 /// A byte range in the source text plus the 1-based line and column of its
-/// start. Columns count bytes within the line (the format is ASCII).
+/// start. Byte offsets index the CRLF-normalized source (see
+/// [`normalize_source`](crate::lexer::normalize_source)); columns count
+/// **characters** within the line, so diagnostics align on non-ASCII
+/// specifications.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Span {
     /// Byte offset of the first byte, inclusive.
@@ -40,7 +46,7 @@ pub struct Span {
     pub end: usize,
     /// 1-based line number of `start`.
     pub line: usize,
-    /// 1-based byte column of `start` within its line.
+    /// 1-based character column of `start` within its line.
     pub col: usize,
 }
 
@@ -118,7 +124,7 @@ impl ParseAstgError {
         self.span.line
     }
 
-    /// 1-based byte column (start of the span).
+    /// 1-based character column (start of the span).
     pub fn col(&self) -> usize {
         self.span.col
     }
@@ -176,476 +182,17 @@ impl LenientParse {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum NodeRef {
-    Transition(String, Polarity, u32),
-    Place(String),
-}
-
-fn parse_node(token: &str) -> NodeRef {
-    let (base, occurrence) = match token.split_once('/') {
-        Some((b, occ)) => match occ.parse::<u32>() {
-            Ok(n) if n >= 1 => (b, n),
-            _ => return NodeRef::Place(token.to_string()),
-        },
-        None => (token, 1),
-    };
-    if let Some(name) = base.strip_suffix('+') {
-        if !name.is_empty() {
-            return NodeRef::Transition(name.to_string(), Polarity::Plus, occurrence);
-        }
-    }
-    if let Some(name) = base.strip_suffix('-') {
-        if !name.is_empty() {
-            return NodeRef::Transition(name.to_string(), Polarity::Minus, occurrence);
-        }
-    }
-    NodeRef::Place(token.to_string())
-}
-
-#[derive(Debug, Clone, Copy)]
-enum NodeKind {
-    T(TransitionId),
-    P(PlaceId),
-}
-
-impl NodeKind {
-    /// A stable dedup key: transitions and places in disjoint ranges.
-    fn key(self) -> (u8, usize) {
-        match self {
-            NodeKind::T(t) => (0, t.0),
-            NodeKind::P(p) => (1, p.0),
-        }
-    }
-}
-
-/// Whitespace-separated tokens of `s` with their spans. `abs` is the byte
-/// offset of `s` in the whole source, `line_off` its byte offset within
-/// its line, `lineno` the 1-based line number.
-fn tokens_at(s: &str, abs: usize, line_off: usize, lineno: usize) -> Vec<(&str, Span)> {
-    let mut out = Vec::new();
-    let mut start: Option<usize> = None;
-    for (i, c) in s.char_indices() {
-        if c.is_whitespace() {
-            if let Some(b) = start.take() {
-                out.push((
-                    &s[b..i],
-                    Span {
-                        start: abs + b,
-                        end: abs + i,
-                        line: lineno,
-                        col: line_off + b + 1,
-                    },
-                ));
-            }
-        } else if start.is_none() {
-            start = Some(i);
-        }
-    }
-    if let Some(b) = start {
-        out.push((
-            &s[b..],
-            Span {
-                start: abs + b,
-                end: abs + s.len(),
-                line: lineno,
-                col: line_off + b + 1,
-            },
-        ));
-    }
-    out
-}
-
-struct Parser {
-    stg: Stg,
-    declared: BTreeMap<String, SignalKind>,
-    transitions: BTreeMap<(String, Polarity, u32), TransitionId>,
-    places: BTreeMap<String, PlaceId>,
-    implicit: BTreeMap<(TransitionId, TransitionId), PlaceId>,
-    arcs_seen: BTreeSet<((u8, usize), (u8, usize))>,
-    errors: Vec<ParseAstgError>,
-    spans: SpecSpans,
-    in_graph: bool,
-    saw_graph: bool,
-}
-
-impl Parser {
-    fn new() -> Self {
-        Self {
-            stg: Stg::new("stg"),
-            declared: BTreeMap::new(),
-            transitions: BTreeMap::new(),
-            places: BTreeMap::new(),
-            implicit: BTreeMap::new(),
-            arcs_seen: BTreeSet::new(),
-            errors: Vec::new(),
-            spans: SpecSpans::default(),
-            in_graph: false,
-            saw_graph: false,
-        }
-    }
-
-    fn error(&mut self, kind: ParseErrorKind, span: Span, message: impl Into<String>) {
-        self.errors.push(ParseAstgError {
-            kind,
-            span,
-            message: message.into(),
-        });
-    }
-
-    fn declare(&mut self, kind: SignalKind, tokens: &[(&str, Span)]) {
-        for &(name, span) in tokens {
-            if self.declared.contains_key(name) {
-                self.error(
-                    ParseErrorKind::DuplicateSignal,
-                    span,
-                    format!("signal `{name}` declared twice"),
-                );
-                continue;
-            }
-            self.declared.insert(name.to_string(), kind);
-            self.stg.add_signal(name, kind);
-            self.spans.signals.push(span);
-        }
-    }
-
-    /// Resolves a transition node, auto-declaring undeclared signals as
-    /// inputs (with an [`ParseErrorKind::UndeclaredSignal`] defect) so the
-    /// rest of the specification can still be analyzed.
-    fn resolve_transition(
-        &mut self,
-        name: &str,
-        pol: Polarity,
-        occ: u32,
-        span: Span,
-    ) -> TransitionId {
-        if self.stg.signal_by_name(name).is_none() {
-            self.error(
-                ParseErrorKind::UndeclaredSignal,
-                span,
-                format!("undeclared signal `{name}`"),
-            );
-            self.declared.insert(name.to_string(), SignalKind::Input);
-            self.stg.add_signal(name, SignalKind::Input);
-            self.spans.signals.push(span);
-        }
-        let sig = self.stg.signal_by_name(name).expect("just ensured");
-        if let Some(&t) = self.transitions.get(&(name.to_string(), pol, occ)) {
-            return t;
-        }
-        let t = self.stg.add_transition(TransitionLabel::new(sig, pol, occ));
-        self.transitions.insert((name.to_string(), pol, occ), t);
-        self.spans.transitions.push(span);
-        t
-    }
-
-    fn resolve_place(&mut self, name: &str, span: Span) -> PlaceId {
-        if let Some(&p) = self.places.get(name) {
-            return p;
-        }
-        let p = self.stg.net_mut().add_place(name, 0);
-        self.places.insert(name.to_string(), p);
-        self.spans.places.push(span);
-        p
-    }
-
-    fn resolve_node(&mut self, token: &str, span: Span) -> NodeKind {
-        match parse_node(token) {
-            NodeRef::Transition(name, pol, occ) => {
-                NodeKind::T(self.resolve_transition(&name, pol, occ, span))
-            }
-            NodeRef::Place(name) => NodeKind::P(self.resolve_place(&name, span)),
-        }
-    }
-
-    /// Adds one `.graph` arc, merging duplicates (with a defect) and
-    /// skipping place-to-place arcs (with a defect).
-    fn add_arc(&mut self, src: NodeKind, dst: NodeKind, dst_span: Span) {
-        if !self.arcs_seen.insert((src.key(), dst.key())) {
-            let name = |n: NodeKind| match n {
-                NodeKind::T(t) => self.stg.net().transition_name(t).to_string(),
-                NodeKind::P(p) => self.stg.net().place_name(p).to_string(),
-            };
-            self.error(
-                ParseErrorKind::DuplicateArc,
-                dst_span,
-                format!("duplicate arc `{} {}` is merged", name(src), name(dst)),
-            );
-            return;
-        }
-        match (src, dst) {
-            (NodeKind::T(a), NodeKind::T(b)) => {
-                if !self.implicit.contains_key(&(a, b)) {
-                    let pname = format!(
-                        "<{},{}>",
-                        self.stg.net().transition_name(a),
-                        self.stg.net().transition_name(b)
-                    );
-                    let p = self.stg.net_mut().add_place(pname, 0);
-                    self.stg.net_mut().add_arc_tp(a, p);
-                    self.stg.net_mut().add_arc_pt(p, b);
-                    self.implicit.insert((a, b), p);
-                    self.spans.places.push(dst_span);
-                }
-            }
-            (NodeKind::T(a), NodeKind::P(p)) => self.stg.net_mut().add_arc_tp(a, p),
-            (NodeKind::P(p), NodeKind::T(b)) => self.stg.net_mut().add_arc_pt(p, b),
-            (NodeKind::P(_), NodeKind::P(_)) => {
-                self.error(
-                    ParseErrorKind::Syntax,
-                    dst_span,
-                    "place-to-place arcs are not allowed",
-                );
-            }
-        }
-    }
-
-    fn marking_entry(&mut self, name: &str, count: u32, span: Span) {
-        if let Some(inner) = name.strip_prefix('<').and_then(|n| n.strip_suffix('>')) {
-            let Some((a, b)) = inner.split_once(',') else {
-                self.error(
-                    ParseErrorKind::Syntax,
-                    span,
-                    format!("bad implicit place `{name}`"),
-                );
-                return;
-            };
-            let mut lookup = |tok: &str| -> Option<TransitionId> {
-                match parse_node(tok.trim()) {
-                    NodeRef::Transition(n, pol, occ) => {
-                        let t = self.transitions.get(&(n, pol, occ)).copied();
-                        if t.is_none() {
-                            self.error(
-                                ParseErrorKind::Syntax,
-                                span,
-                                format!("unknown transition `{tok}` in marking"),
-                            );
-                        }
-                        t
-                    }
-                    NodeRef::Place(_) => {
-                        self.error(
-                            ParseErrorKind::Syntax,
-                            span,
-                            format!("`{tok}` is not a transition"),
-                        );
-                        None
-                    }
-                }
-            };
-            let (Some(ta), Some(tb)) = (lookup(a), lookup(b)) else {
-                return;
-            };
-            match self.implicit.get(&(ta, tb)).copied() {
-                Some(p) => self.stg.net_mut().set_initial(p, count),
-                None => self.error(
-                    ParseErrorKind::Syntax,
-                    span,
-                    format!("no implicit place `{name}` in the graph"),
-                ),
-            }
-        } else {
-            match self.places.get(name).copied() {
-                Some(p) => self.stg.net_mut().set_initial(p, count),
-                None => self.error(
-                    ParseErrorKind::Syntax,
-                    span,
-                    format!("unknown place `{name}` in marking"),
-                ),
-            }
-        }
-    }
-
-    /// Parses the body of a `.marking` line. `rest` is everything after
-    /// the directive, `abs`/`line_off` locate it in the source.
-    fn marking(&mut self, rest: &str, abs: usize, line_off: usize, lineno: usize) {
-        let trimmed = rest.trim();
-        let lead = rest.len() - rest.trim_start().len();
-        let body = trimmed.strip_prefix('{').and_then(|b| b.strip_suffix('}'));
-        let Some(body) = body else {
-            self.error(
-                ParseErrorKind::Syntax,
-                Span {
-                    start: abs + lead,
-                    end: abs + lead + trimmed.len(),
-                    line: lineno,
-                    col: line_off + lead + 1,
-                },
-                "marking must be wrapped in `{ ... }`",
-            );
-            return;
-        };
-        let body_abs = abs + lead + 1;
-        let body_off = line_off + lead + 1;
-
-        // Tokenize: `<a+,b->` groups (optionally `=k`) and bare names.
-        let mut chars = body.char_indices().peekable();
-        while let Some(&(start, c)) = chars.peek() {
-            if c.is_whitespace() {
-                chars.next();
-                continue;
-            }
-            let mut end = start;
-            if c == '<' {
-                for (i, ch) in chars.by_ref() {
-                    end = i + ch.len_utf8();
-                    if ch == '>' {
-                        break;
-                    }
-                }
-            }
-            while let Some(&(i, ch)) = chars.peek() {
-                if ch.is_whitespace() || ch == '<' {
-                    break;
-                }
-                end = i + ch.len_utf8();
-                chars.next();
-            }
-            let token = &body[start..end];
-            if token.is_empty() {
-                break;
-            }
-            let span = Span {
-                start: body_abs + start,
-                end: body_abs + end,
-                line: lineno,
-                col: body_off + start + 1,
-            };
-            let (name, count) = match token.split_once('=') {
-                Some((n, k)) => match k.parse::<u32>() {
-                    Ok(count) => (n, count),
-                    Err(_) => {
-                        self.error(
-                            ParseErrorKind::Syntax,
-                            span,
-                            format!("bad token count in `{token}`"),
-                        );
-                        continue;
-                    }
-                },
-                None => (token, 1),
-            };
-            self.marking_entry(name, count, span);
-        }
-    }
-
-    fn line(&mut self, raw: &str, abs: usize, lineno: usize) -> bool {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            return true;
-        }
-        let lead = raw.len() - raw.trim_start().len();
-        let line_span = Span {
-            start: abs + lead,
-            end: abs + lead + line.len(),
-            line: lineno,
-            col: lead + 1,
-        };
-        // Offset (absolute, in-line) of `rest` after a directive prefix.
-        let after = |n: usize| (abs + lead + n, lead + n);
-
-        if let Some(rest) = line.strip_prefix(".model") {
-            self.stg.name = rest.trim().to_string();
-            self.spans.model = Some(line_span);
-            return true;
-        }
-        if line.starts_with(".dummy") {
-            self.error(
-                ParseErrorKind::DummyUnsupported,
-                line_span,
-                "`.dummy` transitions are not supported",
-            );
-            return true;
-        }
-        for (directive, kind) in [
-            (".inputs", SignalKind::Input),
-            (".outputs", SignalKind::Output),
-            (".internal", SignalKind::Internal),
-        ] {
-            if let Some(rest) = line.strip_prefix(directive) {
-                let (rest_abs, rest_off) = after(directive.len());
-                let tokens = tokens_at(rest, rest_abs, rest_off, lineno);
-                self.declare(kind, &tokens);
-                return true;
-            }
-        }
-        if line == ".graph" {
-            self.in_graph = true;
-            self.saw_graph = true;
-            return true;
-        }
-        if let Some(rest) = line.strip_prefix(".marking") {
-            self.in_graph = false;
-            self.spans.marking = Some(line_span);
-            let (rest_abs, rest_off) = after(".marking".len());
-            self.marking(rest, rest_abs, rest_off, lineno);
-            return true;
-        }
-        if line == ".end" {
-            return false;
-        }
-        if line.starts_with('.') {
-            self.error(
-                ParseErrorKind::UnknownSection,
-                line_span,
-                format!("unknown section `{line}`"),
-            );
-            return true;
-        }
-        if !self.in_graph {
-            self.error(
-                ParseErrorKind::Syntax,
-                line_span,
-                format!("unexpected line outside `.graph`: `{line}`"),
-            );
-            return true;
-        }
-
-        // A graph line: src dst1 dst2 ...
-        let tokens = tokens_at(line, abs + lead, lead, lineno);
-        let Some(&(src_tok, src_span)) = tokens.first() else {
-            return true;
-        };
-        let src = self.resolve_node(src_tok, src_span);
-        for &(dst_tok, dst_span) in &tokens[1..] {
-            let dst = self.resolve_node(dst_tok, dst_span);
-            self.add_arc(src, dst, dst_span);
-        }
-        true
-    }
-
-    fn finish(mut self) -> LenientParse {
-        if !self.saw_graph {
-            self.errors.push(ParseAstgError {
-                kind: ParseErrorKind::Syntax,
-                span: Span::point(0, 1, 1),
-                message: "missing `.graph` section".into(),
-            });
-        }
-        LenientParse {
-            stg: self.stg,
-            errors: self.errors,
-            spans: self.spans,
-        }
-    }
-}
-
 /// Parses an STG in the `.g` format, recovering from every defect: the
 /// result carries the best-effort [`Stg`] plus all defects with spans.
 /// Never panics, on any input.
+///
+/// This is a thin facade over the layered streaming front-end —
+/// [`parse_events`](crate::events::parse_events) to produce the event
+/// stream, [`tree_of_events`](crate::tree::tree_of_events) to fold it —
+/// and produces bit-identical output (same [`Stg`], same [`SpecSpans`],
+/// same defect order) to the historical single-pass parser.
 pub fn parse_astg_lenient(text: &str) -> LenientParse {
-    let mut parser = Parser::new();
-    let mut abs = 0usize;
-    for (idx, raw_incl) in text.split_inclusive('\n').enumerate() {
-        let raw = raw_incl
-            .strip_suffix('\n')
-            .map_or(raw_incl, |r| r.strip_suffix('\r').unwrap_or(r));
-        if !parser.line(raw, abs, idx + 1) {
-            break;
-        }
-        abs += raw_incl.len();
-    }
-    parser.finish()
+    crate::tree::tree_of_events(&crate::events::parse_events(text))
 }
 
 /// Parses an STG in the `.g` format, strictly.
@@ -666,6 +213,12 @@ pub fn parse_astg(text: &str) -> Result<Stg, ParseAstgError> {
 
 /// Writes an STG in the `.g` format (implicit places for 1-in/1-out
 /// anonymous places, explicit names otherwise).
+///
+/// The output is **canonical**: graph lines, the destinations within
+/// each line, and marking entries are sorted by name, so the text
+/// depends only on the net's structure — never on transition or place
+/// numbering. `write_astg ∘ parse_astg` is therefore idempotent: writing
+/// a just-parsed writer output reproduces it byte for byte.
 pub fn write_astg(stg: &Stg) -> String {
     let mut out = String::new();
     out.push_str(&format!(".model {}\n", stg.name));
@@ -729,8 +282,10 @@ pub fn write_astg(stg: &Stg) -> String {
             }
         }
     }
+    order.sort();
     for name in order {
-        let dsts = &lines[&name];
+        let mut dsts = lines[&name].clone();
+        dsts.sort();
         if !dsts.is_empty() {
             out.push_str(&format!("{name} {}\n", dsts.join(" ")));
         }
@@ -756,6 +311,7 @@ pub fn write_astg(stg: &Stg) -> String {
             entries.push(format!("{text}={k}"));
         }
     }
+    entries.sort();
     out.push_str(&format!(".marking {{ {} }}\n.end\n", entries.join(" ")));
     out
 }
@@ -1084,5 +640,42 @@ p0 p1
             let _ = parse_astg_lenient(text);
             let _ = parse_astg(text);
         }
+    }
+
+    #[test]
+    fn crlf_input_parses_identically_to_lf() {
+        let crlf = HANDSHAKE.replace('\n', "\r\n");
+        // Spans included: the lexer normalizes CRLF to LF before any
+        // offset is computed.
+        assert_eq!(parse_astg_lenient(&crlf), parse_astg_lenient(HANDSHAKE));
+    }
+
+    #[test]
+    fn missing_trailing_newline_parses_identically() {
+        let trimmed = HANDSHAKE.trim_end_matches('\n');
+        assert_eq!(parse_astg_lenient(trimmed), parse_astg_lenient(HANDSHAKE));
+    }
+
+    #[test]
+    fn columns_count_characters_on_non_ascii_lines() {
+        // `möde+ ` is six characters but seven bytes: `äck+` must be
+        // reported at character column 7, not byte column 8.
+        let text = ".model x\n.inputs möde\n.graph\nmöde+ äck+\n.end\n";
+        let e = parse_astg(text).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::UndeclaredSignal);
+        assert_eq!(e.span.line, 4);
+        assert_eq!(e.span.col, 7);
+        // Byte offsets still index the source text.
+        assert_eq!(&text[e.span.start..e.span.end], "äck+");
+    }
+
+    #[test]
+    fn writer_output_is_a_fixed_point_of_parse_then_write() {
+        // The canonical (name-sorted) writer depends only on the net's
+        // structure, so re-parsing and re-writing its own output is the
+        // identity — even though the re-parse renumbers transitions.
+        let first = write_astg(&parse_astg(IMEC_RAM_READ_SBUF_G).expect("valid"));
+        let second = write_astg(&parse_astg(&first).expect("round trip"));
+        assert_eq!(first, second);
     }
 }

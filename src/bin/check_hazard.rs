@@ -41,7 +41,9 @@ OPTIONS:
                           policy only reports them on stderr)
     -j, --jobs <N>        worker threads for the per-gate fan-out
                           (default 1 = sequential, 0 = one per CPU)
-    -f, --format <FMT>    output format: text (default) or json
+    -f, --format <FMT>    output format: text (default), json or sexp
+                          (the S-expression constraint report of
+                          docs/interchange.md)
         --order <ORDER>   relaxation order: tightest (default) or lex
         --no-cache        disable state-graph memoization
         --no-incremental  regenerate every relaxation trial's state graph
@@ -74,11 +76,19 @@ enum Source {
     Bench(String),
 }
 
+/// Output format for the derivation report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sexp,
+}
+
 /// Parsed command line.
 struct Args {
     source: Source,
     config: EngineConfig,
-    json: bool,
+    format: Format,
 }
 
 enum ArgsOutcome {
@@ -89,7 +99,7 @@ enum ArgsOutcome {
 
 fn parse_args(argv: &[String]) -> ArgsOutcome {
     let mut config = EngineConfig::default();
-    let mut json = false;
+    let mut format = Format::Text;
     let mut bench: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = argv.iter();
@@ -106,9 +116,10 @@ fn parse_args(argv: &[String]) -> ArgsOutcome {
                 _ => return ArgsOutcome::Error("--jobs expects a non-negative integer".into()),
             },
             "-f" | "--format" => match it.next().map(String::as_str) {
-                Some("text") => json = false,
-                Some("json") => json = true,
-                _ => return ArgsOutcome::Error("--format expects `text` or `json`".into()),
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sexp") => format = Format::Sexp,
+                _ => return ArgsOutcome::Error("--format expects `text`, `json` or `sexp`".into()),
             },
             "--order" => match it.next().map(String::as_str) {
                 Some("tightest") => config.order = RelaxationOrder::TightestFirst,
@@ -130,13 +141,13 @@ fn parse_args(argv: &[String]) -> ArgsOutcome {
         (Some(name), Err(rest)) if rest.is_empty() => ArgsOutcome::Run(Box::new(Args {
             source: Source::Bench(name),
             config,
-            json,
+            format,
         })),
         (Some(_), _) => ArgsOutcome::Error("--bench takes no positional paths".into()),
         (None, Ok([stg_path, eqn_path])) => ArgsOutcome::Run(Box::new(Args {
             source: Source::Files { stg_path, eqn_path },
             config,
-            json,
+            format,
         })),
         (None, Err(_)) => {
             ArgsOutcome::Error("expected exactly two paths: <stg.g> <netlist.eqn>".into())
@@ -255,10 +266,10 @@ fn run(args: &Args) -> Result<bool, String> {
     };
     let elapsed = started.elapsed().as_secs_f64();
 
-    if args.json {
-        println!("{}", render_json(&out, elapsed));
-    } else {
-        print_text(&out, elapsed);
+    match args.format {
+        Format::Text => print_text(&out, elapsed),
+        Format::Json => println!("{}", render_json(&out, elapsed)),
+        Format::Sexp => print!("{}", out.report.sexp()),
     }
     Ok(!out.report.constraints.is_empty())
 }

@@ -22,6 +22,12 @@
 //! bursts) are counted and skipped — both engines need the same netlist
 //! to compare.
 //!
+//! A cheap extra oracle rides along on every scanned seed: the generated
+//! spec's parse-event stream must survive the S-expression interchange
+//! round-trip (`parse → events → sexp → reader → tree`,
+//! `docs/interchange.md`) bit-identically. A divergence is minimized and
+//! reported through the same reproducer machinery as an engine mismatch.
+//!
 //! Exit codes: `0` no divergence, `1` divergence found (reproducer on
 //! stdout and in the artifact file), `3` usage error.
 
@@ -41,7 +47,9 @@ usage: si_fuzz [OPTIONS]
 
 Differential fuzzing: seeded synthetic circuits through the full-featured
 engine vs the pinned sequential reference; any divergence in constraints,
-verdicts or error values fails the run with a minimized reproducer.
+verdicts or error values fails the run with a minimized reproducer. The
+S-expression interchange round-trip is checked on every seed as a cheap
+extra oracle under the same contract.
 
 OPTIONS:
         --seeds <N>        number of seeds to scan (default 1000)
@@ -126,6 +134,35 @@ enum Fault {
     Guarantee(usize),
     /// Full-featured and reference engines disagree.
     Diverged(Box<Payload>, Box<Payload>),
+    /// The S-expression interchange round-trip lost or changed a fact.
+    SexpRoundTrip(String),
+}
+
+/// The interchange oracle: the spec's event stream, dumped to the sexp
+/// format and read back, must rebuild the exact same parse (same `Stg`,
+/// spans and defect list) as parsing the text directly. Returns a
+/// what-differs description on violation.
+fn sexp_divergence(g_text: &str) -> Option<String> {
+    let direct = si_stg::parse_astg_lenient(g_text);
+    let dump = si_stg::sexp::write_events(&si_stg::parse_events(g_text));
+    let events = match si_stg::sexp::read_events(&dump) {
+        Ok(events) => events,
+        Err(e) => return Some(format!("reader rejects the writer's own dump: {e}")),
+    };
+    let rebuilt = si_stg::tree_of_events(&events);
+    if rebuilt.stg != direct.stg {
+        return Some("rebuilt Stg differs from the direct parse".into());
+    }
+    if rebuilt.spans != direct.spans {
+        return Some("rebuilt spans differ from the direct parse".into());
+    }
+    if rebuilt.errors != direct.errors {
+        return Some(format!(
+            "rebuilt defect list differs: {:?} vs {:?}",
+            rebuilt.errors, direct.errors
+        ));
+    }
+    None
 }
 
 /// Checks one `(spec, seed)` case with **fresh, cold** engines — the
@@ -141,6 +178,9 @@ fn fault_of(spec: &CorpusSpec, seed: u64) -> Option<Fault> {
     );
     if lint.error_count() > 0 {
         return Some(Fault::Guarantee(lint.error_count()));
+    }
+    if let Some(detail) = sexp_divergence(&c.g_text) {
+        return Some(Fault::SexpRoundTrip(detail));
     }
     let (full, reference) = payloads(
         &Engine::new(harness_config(EngineConfig::default())),
@@ -201,6 +241,9 @@ fn describe(fault: &Fault) -> String {
         Fault::Diverged(full, reference) => format!(
             "engine diverges from reference\n--- full-featured ---\n{full:?}\n--- reference ---\n{reference:?}"
         ),
+        Fault::SexpRoundTrip(detail) => {
+            format!("sexp round-trip oracle violated: {detail}")
+        }
     }
 }
 
@@ -296,7 +339,7 @@ fn main() -> ExitCode {
                         state_budget: Some(full.config().global_sg_budget),
                     },
                 );
-                if lint.error_count() > 0 {
+                if lint.error_count() > 0 || sexp_divergence(&c.g_text).is_some() {
                     suspects.lock().expect("suspects").push(seed);
                     continue;
                 }

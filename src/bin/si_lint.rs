@@ -17,7 +17,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use si_lint::{json_diagnostics, json_escape, lint_text_with, render_text, LintOptions};
+use si_lint::{
+    json_diagnostics, json_escape, lint_text_with, render_sexp, render_text, LintOptions,
+};
 
 const USAGE: &str = "\
 si_lint - static specification analyzer for STGs
@@ -32,7 +34,7 @@ ARGS:
 
 OPTIONS:
     --suite            lint the bundled benchmark suite instead of paths
-    -f, --format FMT   output format: text (default) or json
+    -f, --format FMT   output format: text (default), json or sexp
     --budget N         state-graph budget for the SI016 feasibility check
     --deny-warnings    exit nonzero on warnings too
     -h, --help         print this help
@@ -47,6 +49,7 @@ EXIT CODES:
 enum Format {
     Text,
     Json,
+    Sexp,
 }
 
 #[derive(Debug)]
@@ -81,6 +84,7 @@ fn parse_args(argv: &[String]) -> ArgsOutcome {
             "-f" | "--format" => match it.next().map(String::as_str) {
                 Some("text") => args.format = Format::Text,
                 Some("json") => args.format = Format::Json,
+                Some("sexp") => args.format = Format::Sexp,
                 Some(other) => {
                     return ArgsOutcome::Error(format!("unknown format `{other}`"));
                 }
@@ -219,6 +223,7 @@ fn main() -> ExitCode {
         warnings += report.warning_count();
         match args.format {
             Format::Text => print!("{}", render_text(&report, &input.text, &input.origin)),
+            Format::Sexp => print!("{}", render_sexp(&report, &input.origin)),
             Format::Json => json_files.push(format!(
                 "    {{\n      \"origin\": \"{}\",\n      \"model\": \"{}\",\n      \
                  \"errors\": {},\n      \"warnings\": {},\n      \"diagnostics\": {}\n    }}",
@@ -243,6 +248,7 @@ fn main() -> ExitCode {
             "{{\n  \"files\": [\n{}\n  ],\n  \"errors\": {errors},\n  \"warnings\": {warnings}\n}}",
             json_files.join(",\n")
         ),
+        Format::Sexp => {}
     }
 
     if errors > 0 || (args.deny_warnings && warnings > 0) {

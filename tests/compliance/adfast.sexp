@@ -1,0 +1,55 @@
+; Compliance dump for `adfast`: the lossless parse-event stream of
+; the spec in the S-expression interchange format (see
+; docs/interchange.md). Regenerate with:
+;   UPDATE_GOLDEN=1 cargo test --test compliance
+; si-sexp 1 parse-tree
+(document [0, 0, 1, 1]
+  (model [0, 13, 1, 1] "adfast")
+  (inputs [14, 32, 2, 1]
+    (name [22, 24, 2, 9] "go")
+    (name [25, 28, 2, 12] "cmp")
+    (name [29, 32, 2, 16] "rdy"))
+  (outputs [33, 55, 3, 1]
+    (name [42, 46, 3, 10] "samp")
+    (name [47, 50, 3, 15] "cnt")
+    (name [51, 55, 3, 19] "done"))
+  (graph [56, 62, 4, 1]
+    (line [63, 72, 5, 1]
+      (node [63, 66, 5, 1] "go+")
+      (node [67, 72, 5, 5] "samp+"))
+    (line [73, 83, 6, 1]
+      (node [73, 78, 6, 1] "samp+")
+      (node [79, 83, 6, 7] "cmp+"))
+    (line [84, 93, 7, 1]
+      (node [84, 88, 7, 1] "cmp+")
+      (node [89, 93, 7, 6] "cnt+"))
+    (line [94, 103, 8, 1]
+      (node [94, 98, 8, 1] "cnt+")
+      (node [99, 103, 8, 6] "rdy+"))
+    (line [104, 120, 9, 1]
+      (node [104, 108, 9, 1] "rdy+")
+      (node [109, 114, 9, 6] "samp-")
+      (node [115, 120, 9, 12] "done+"))
+    (line [121, 131, 10, 1]
+      (node [121, 126, 10, 1] "samp-")
+      (node [127, 131, 10, 7] "cmp-"))
+    (line [132, 141, 11, 1]
+      (node [132, 137, 11, 1] "done+")
+      (node [138, 141, 11, 7] "go-"))
+    (line [142, 151, 12, 1]
+      (node [142, 146, 12, 1] "cmp-")
+      (node [147, 151, 12, 6] "cnt-"))
+    (line [152, 160, 13, 1]
+      (node [152, 155, 13, 1] "go-")
+      (node [156, 160, 13, 5] "cnt-"))
+    (line [161, 170, 14, 1]
+      (node [161, 165, 14, 1] "cnt-")
+      (node [166, 170, 14, 6] "rdy-"))
+    (line [171, 181, 15, 1]
+      (node [171, 175, 15, 1] "rdy-")
+      (node [176, 181, 15, 6] "done-"))
+    (line [182, 191, 16, 1]
+      (node [182, 187, 16, 1] "done-")
+      (node [188, 191, 16, 7] "go+")))
+  (marking [192, 216, 17, 1]
+    (entry [203, 214, 17, 12] "<done-,go+>")))

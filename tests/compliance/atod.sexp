@@ -1,0 +1,55 @@
+; Compliance dump for `atod`: the lossless parse-event stream of
+; the spec in the S-expression interchange format (see
+; docs/interchange.md). Regenerate with:
+;   UPDATE_GOLDEN=1 cargo test --test compliance
+; si-sexp 1 parse-tree
+(document [0, 0, 1, 1]
+  (model [0, 11, 1, 1] "atod")
+  (inputs [12, 29, 2, 1]
+    (name [20, 23, 2, 9] "req")
+    (name [24, 27, 2, 13] "eoc")
+    (name [28, 29, 2, 17] "d"))
+  (outputs [30, 51, 3, 1]
+    (name [39, 44, 3, 10] "start")
+    (name [45, 47, 3, 16] "la")
+    (name [48, 51, 3, 19] "ack"))
+  (graph [52, 58, 4, 1]
+    (line [59, 70, 5, 1]
+      (node [59, 63, 5, 1] "req+")
+      (node [64, 70, 5, 6] "start+"))
+    (line [71, 82, 6, 1]
+      (node [71, 77, 6, 1] "start+")
+      (node [78, 82, 6, 8] "eoc+"))
+    (line [83, 91, 7, 1]
+      (node [83, 87, 7, 1] "eoc+")
+      (node [88, 91, 7, 6] "la+"))
+    (line [92, 105, 8, 1]
+      (node [92, 95, 8, 1] "la+")
+      (node [96, 98, 8, 5] "d+")
+      (node [99, 105, 8, 8] "start-"))
+    (line [106, 117, 9, 1]
+      (node [106, 112, 9, 1] "start-")
+      (node [113, 117, 9, 8] "eoc-"))
+    (line [118, 125, 10, 1]
+      (node [118, 120, 10, 1] "d+")
+      (node [121, 125, 10, 4] "ack+"))
+    (line [126, 135, 11, 1]
+      (node [126, 130, 11, 1] "eoc-")
+      (node [131, 135, 11, 6] "ack+"))
+    (line [136, 145, 12, 1]
+      (node [136, 140, 12, 1] "ack+")
+      (node [141, 145, 12, 6] "req-"))
+    (line [146, 154, 13, 1]
+      (node [146, 150, 13, 1] "req-")
+      (node [151, 154, 13, 6] "la-"))
+    (line [155, 161, 14, 1]
+      (node [155, 158, 14, 1] "la-")
+      (node [159, 161, 14, 5] "d-"))
+    (line [162, 169, 15, 1]
+      (node [162, 164, 15, 1] "d-")
+      (node [165, 169, 15, 4] "ack-"))
+    (line [170, 179, 16, 1]
+      (node [170, 174, 16, 1] "ack-")
+      (node [175, 179, 16, 6] "req+")))
+  (marking [180, 204, 17, 1]
+    (entry [191, 202, 17, 12] "<ack-,req+>")))

@@ -1,0 +1,56 @@
+; Compliance dump for `chu133`: the lossless parse-event stream of
+; the spec in the S-expression interchange format (see
+; docs/interchange.md). Regenerate with:
+;   UPDATE_GOLDEN=1 cargo test --test compliance
+; si-sexp 1 parse-tree
+(document [0, 0, 1, 1]
+  (model [0, 13, 1, 1] "chu133")
+  (inputs [14, 27, 2, 1]
+    (name [22, 23, 2, 9] "a")
+    (name [24, 25, 2, 11] "b")
+    (name [26, 27, 2, 13] "c"))
+  (outputs [28, 42, 3, 1]
+    (name [37, 38, 3, 10] "x")
+    (name [39, 40, 3, 12] "y")
+    (name [41, 42, 3, 14] "z"))
+  (graph [43, 49, 4, 1]
+    (line [50, 55, 5, 1]
+      (node [50, 52, 5, 1] "a+")
+      (node [53, 55, 5, 4] "x+"))
+    (line [56, 61, 6, 1]
+      (node [56, 58, 6, 1] "x+")
+      (node [59, 61, 6, 4] "b+"))
+    (line [62, 67, 7, 1]
+      (node [62, 64, 7, 1] "b+")
+      (node [65, 67, 7, 4] "y+"))
+    (line [68, 73, 8, 1]
+      (node [68, 70, 8, 1] "y+")
+      (node [71, 73, 8, 4] "c+"))
+    (line [74, 79, 9, 1]
+      (node [74, 76, 9, 1] "c+")
+      (node [77, 79, 9, 4] "z+"))
+    (line [80, 85, 10, 1]
+      (node [80, 82, 10, 1] "z+")
+      (node [83, 85, 10, 4] "a-"))
+    (line [86, 91, 11, 1]
+      (node [86, 88, 11, 1] "a-")
+      (node [89, 91, 11, 4] "x-"))
+    (line [92, 100, 12, 1]
+      (node [92, 94, 12, 1] "x-")
+      (node [95, 97, 12, 4] "b-")
+      (node [98, 100, 12, 7] "y-"))
+    (line [101, 106, 13, 1]
+      (node [101, 103, 13, 1] "y-")
+      (node [104, 106, 13, 4] "z-"))
+    (line [107, 112, 14, 1]
+      (node [107, 109, 14, 1] "z-")
+      (node [110, 112, 14, 4] "c-"))
+    (line [113, 118, 15, 1]
+      (node [113, 115, 15, 1] "c-")
+      (node [116, 118, 15, 4] "a+"))
+    (line [119, 124, 16, 1]
+      (node [119, 121, 16, 1] "b-")
+      (node [122, 124, 16, 4] "a+")))
+  (marking [125, 153, 17, 1]
+    (entry [136, 143, 17, 12] "<c-,a+>")
+    (entry [144, 151, 17, 20] "<b-,a+>")))

@@ -1,0 +1,47 @@
+; Compliance dump for `converta`: the lossless parse-event stream of
+; the spec in the S-expression interchange format (see
+; docs/interchange.md). Regenerate with:
+;   UPDATE_GOLDEN=1 cargo test --test compliance
+; si-sexp 1 parse-tree
+(document [0, 0, 1, 1]
+  (model [0, 15, 1, 1] "converta")
+  (inputs [16, 27, 2, 1]
+    (name [24, 25, 2, 9] "a")
+    (name [26, 27, 2, 11] "k"))
+  (outputs [28, 42, 3, 1]
+    (name [37, 38, 3, 10] "b")
+    (name [39, 40, 3, 12] "r")
+    (name [41, 42, 3, 14] "x"))
+  (graph [43, 49, 4, 1]
+    (line [50, 55, 5, 1]
+      (node [50, 52, 5, 1] "a+")
+      (node [53, 55, 5, 4] "r+"))
+    (line [56, 61, 6, 1]
+      (node [56, 58, 6, 1] "r+")
+      (node [59, 61, 6, 4] "k+"))
+    (line [62, 67, 7, 1]
+      (node [62, 64, 7, 1] "k+")
+      (node [65, 67, 7, 4] "b+"))
+    (line [68, 73, 8, 1]
+      (node [68, 70, 8, 1] "b+")
+      (node [71, 73, 8, 4] "a-"))
+    (line [74, 79, 9, 1]
+      (node [74, 76, 9, 1] "a-")
+      (node [77, 79, 9, 4] "x+"))
+    (line [80, 85, 10, 1]
+      (node [80, 82, 10, 1] "x+")
+      (node [83, 85, 10, 4] "r-"))
+    (line [86, 91, 11, 1]
+      (node [86, 88, 11, 1] "r-")
+      (node [89, 91, 11, 4] "k-"))
+    (line [92, 97, 12, 1]
+      (node [92, 94, 12, 1] "k-")
+      (node [95, 97, 12, 4] "x-"))
+    (line [98, 103, 13, 1]
+      (node [98, 100, 13, 1] "x-")
+      (node [101, 103, 13, 4] "b-"))
+    (line [104, 109, 14, 1]
+      (node [104, 106, 14, 1] "b-")
+      (node [107, 109, 14, 4] "a+")))
+  (marking [110, 130, 15, 1]
+    (entry [121, 128, 15, 12] "<b-,a+>")))

@@ -1,0 +1,75 @@
+; Compliance dump for `corpus-choice-pair`: the lossless parse-event stream of
+; the spec in the S-expression interchange format (see
+; docs/interchange.md). Regenerate with:
+;   UPDATE_GOLDEN=1 cargo test --test compliance
+; si-sexp 1 parse-tree
+(document [0, 0, 1, 1]
+  (model [0, 25, 1, 1] "corpus-choice-pair")
+  (inputs [26, 45, 2, 1]
+    (name [34, 36, 2, 9] "i0")
+    (name [37, 39, 2, 12] "i1")
+    (name [40, 42, 2, 15] "i2")
+    (name [43, 45, 2, 18] "i3"))
+  (outputs [46, 66, 3, 1]
+    (name [55, 57, 3, 10] "o0")
+    (name [58, 60, 3, 13] "o1")
+    (name [61, 63, 3, 16] "o2")
+    (name [64, 66, 3, 19] "o3"))
+  (graph [67, 73, 4, 1]
+    (line [74, 81, 5, 1]
+      (node [74, 77, 5, 1] "i0+")
+      (node [78, 81, 5, 5] "o0+"))
+    (line [82, 93, 6, 1]
+      (node [82, 85, 6, 1] "o0+")
+      (node [86, 89, 6, 5] "i1+")
+      (node [90, 93, 6, 9] "o1+"))
+    (line [94, 101, 7, 1]
+      (node [94, 97, 7, 1] "i1+")
+      (node [98, 101, 7, 5] "i0-"))
+    (line [102, 109, 8, 1]
+      (node [102, 105, 8, 1] "o1+")
+      (node [106, 109, 8, 5] "i0-"))
+    (line [110, 121, 9, 1]
+      (node [110, 113, 9, 1] "i0-")
+      (node [114, 117, 9, 5] "o0-")
+      (node [118, 121, 9, 9] "o1-"))
+    (line [122, 129, 10, 1]
+      (node [122, 125, 10, 1] "o0-")
+      (node [126, 129, 10, 5] "i1-"))
+    (line [130, 137, 11, 1]
+      (node [130, 133, 11, 1] "o1-")
+      (node [134, 137, 11, 5] "i1-"))
+    (line [138, 145, 12, 1]
+      (node [138, 141, 12, 1] "i2+")
+      (node [142, 145, 12, 5] "o3+"))
+    (line [146, 157, 13, 1]
+      (node [146, 149, 13, 1] "o3+")
+      (node [150, 153, 13, 5] "i3+")
+      (node [154, 157, 13, 9] "o2+"))
+    (line [158, 165, 14, 1]
+      (node [158, 161, 14, 1] "i3+")
+      (node [162, 165, 14, 5] "i2-"))
+    (line [166, 173, 15, 1]
+      (node [166, 169, 15, 1] "o2+")
+      (node [170, 173, 15, 5] "i2-"))
+    (line [174, 181, 16, 1]
+      (node [174, 177, 16, 1] "i2-")
+      (node [178, 181, 16, 5] "i3-"))
+    (line [182, 189, 17, 1]
+      (node [182, 185, 17, 1] "i3-")
+      (node [186, 189, 17, 5] "o2-"))
+    (line [190, 197, 18, 1]
+      (node [190, 193, 18, 1] "o2-")
+      (node [194, 197, 18, 5] "o3-"))
+    (line [198, 204, 19, 1]
+      (node [198, 201, 19, 1] "i1-")
+      (node [202, 204, 19, 5] "p0"))
+    (line [205, 211, 20, 1]
+      (node [205, 208, 20, 1] "o3-")
+      (node [209, 211, 20, 5] "p0"))
+    (line [212, 222, 21, 1]
+      (node [212, 214, 21, 1] "p0")
+      (node [215, 218, 21, 4] "i0+")
+      (node [219, 222, 21, 8] "i2+")))
+  (marking [223, 238, 22, 1]
+    (entry [234, 236, 22, 12] "p0")))

@@ -1,0 +1,54 @@
+; Compliance dump for `corpus-two-phase-ring`: the lossless parse-event stream of
+; the spec in the S-expression interchange format (see
+; docs/interchange.md). Regenerate with:
+;   UPDATE_GOLDEN=1 cargo test --test compliance
+; si-sexp 1 parse-tree
+(document [0, 0, 1, 1]
+  (model [0, 28, 1, 1] "corpus-two-phase-ring")
+  (inputs [29, 39, 2, 1]
+    (name [37, 39, 2, 9] "i0"))
+  (outputs [40, 63, 3, 1]
+    (name [49, 51, 3, 10] "o0")
+    (name [52, 54, 3, 13] "o1")
+    (name [55, 57, 3, 16] "o2")
+    (name [58, 60, 3, 19] "o3")
+    (name [61, 63, 3, 22] "o4"))
+  (graph [64, 70, 4, 1]
+    (line [71, 78, 5, 1]
+      (node [71, 74, 5, 1] "o0+")
+      (node [75, 78, 5, 5] "o4+"))
+    (line [79, 86, 6, 1]
+      (node [79, 82, 6, 1] "o4+")
+      (node [83, 86, 6, 5] "o3+"))
+    (line [87, 94, 7, 1]
+      (node [87, 90, 7, 1] "o3+")
+      (node [91, 94, 7, 5] "o1+"))
+    (line [95, 102, 8, 1]
+      (node [95, 98, 8, 1] "o1+")
+      (node [99, 102, 8, 5] "o2+"))
+    (line [103, 110, 9, 1]
+      (node [103, 106, 9, 1] "o2+")
+      (node [107, 110, 9, 5] "i0+"))
+    (line [111, 118, 10, 1]
+      (node [111, 114, 10, 1] "i0+")
+      (node [115, 118, 10, 5] "o0-"))
+    (line [119, 126, 11, 1]
+      (node [119, 122, 11, 1] "o0-")
+      (node [123, 126, 11, 5] "o3-"))
+    (line [127, 134, 12, 1]
+      (node [127, 130, 12, 1] "o3-")
+      (node [131, 134, 12, 5] "o2-"))
+    (line [135, 142, 13, 1]
+      (node [135, 138, 13, 1] "o2-")
+      (node [139, 142, 13, 5] "o1-"))
+    (line [143, 150, 14, 1]
+      (node [143, 146, 14, 1] "o1-")
+      (node [147, 150, 14, 5] "o4-"))
+    (line [151, 158, 15, 1]
+      (node [151, 154, 15, 1] "o4-")
+      (node [155, 158, 15, 5] "i0-"))
+    (line [159, 166, 16, 1]
+      (node [159, 162, 16, 1] "i0-")
+      (node [163, 166, 16, 5] "o0+")))
+  (marking [167, 189, 17, 1]
+    (entry [178, 187, 17, 12] "<i0-,o0+>")))

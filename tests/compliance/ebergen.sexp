@@ -1,0 +1,49 @@
+; Compliance dump for `ebergen`: the lossless parse-event stream of
+; the spec in the S-expression interchange format (see
+; docs/interchange.md). Regenerate with:
+;   UPDATE_GOLDEN=1 cargo test --test compliance
+; si-sexp 1 parse-tree
+(document [0, 0, 1, 1]
+  (model [0, 14, 1, 1] "ebergen")
+  (inputs [15, 26, 2, 1]
+    (name [23, 24, 2, 9] "i")
+    (name [25, 26, 2, 11] "j"))
+  (outputs [27, 41, 3, 1]
+    (name [36, 37, 3, 10] "p")
+    (name [38, 39, 3, 12] "q")
+    (name [40, 41, 3, 14] "r"))
+  (graph [42, 48, 4, 1]
+    (line [49, 54, 5, 1]
+      (node [49, 51, 5, 1] "i+")
+      (node [52, 54, 5, 4] "p+"))
+    (line [55, 60, 6, 1]
+      (node [55, 57, 6, 1] "p+")
+      (node [58, 60, 6, 4] "j+"))
+    (line [61, 66, 7, 1]
+      (node [61, 63, 7, 1] "j+")
+      (node [64, 66, 7, 4] "q+"))
+    (line [67, 72, 8, 1]
+      (node [67, 69, 8, 1] "q+")
+      (node [70, 72, 8, 4] "r+"))
+    (line [73, 78, 9, 1]
+      (node [73, 75, 9, 1] "r+")
+      (node [76, 78, 9, 4] "i-"))
+    (line [79, 87, 10, 1]
+      (node [79, 81, 10, 1] "i-")
+      (node [82, 84, 10, 4] "p-")
+      (node [85, 87, 10, 7] "r-"))
+    (line [88, 93, 11, 1]
+      (node [88, 90, 11, 1] "p-")
+      (node [91, 93, 11, 4] "q-"))
+    (line [94, 99, 12, 1]
+      (node [94, 96, 12, 1] "q-")
+      (node [97, 99, 12, 4] "j-"))
+    (line [100, 105, 13, 1]
+      (node [100, 102, 13, 1] "j-")
+      (node [103, 105, 13, 4] "i+"))
+    (line [106, 111, 14, 1]
+      (node [106, 108, 14, 1] "r-")
+      (node [109, 111, 14, 4] "i+")))
+  (marking [112, 140, 15, 1]
+    (entry [123, 130, 15, 12] "<j-,i+>")
+    (entry [131, 138, 15, 20] "<r-,i+>")))

@@ -1,0 +1,73 @@
+; Compliance dump for `fifo`: the lossless parse-event stream of
+; the spec in the S-expression interchange format (see
+; docs/interchange.md). Regenerate with:
+;   UPDATE_GOLDEN=1 cargo test --test compliance
+; si-sexp 1 parse-tree
+(document [0, 0, 1, 1]
+  (model [0, 11, 1, 1] "fifo")
+  (inputs [12, 27, 2, 1]
+    (name [20, 22, 2, 9] "ri")
+    (name [23, 25, 2, 12] "ao")
+    (name [26, 27, 2, 15] "d"))
+  (outputs [28, 44, 3, 1]
+    (name [37, 39, 3, 10] "ai")
+    (name [40, 42, 3, 13] "ro")
+    (name [43, 44, 3, 16] "l"))
+  (internal [45, 57, 4, 1]
+    (name [55, 57, 4, 11] "g0"))
+  (graph [58, 64, 5, 1]
+    (line [65, 71, 6, 1]
+      (node [65, 68, 6, 1] "ri+")
+      (node [69, 71, 6, 5] "l+"))
+    (line [72, 77, 7, 1]
+      (node [72, 74, 7, 1] "l+")
+      (node [75, 77, 7, 4] "d+"))
+    (line [78, 84, 8, 1]
+      (node [78, 80, 8, 1] "d+")
+      (node [81, 84, 8, 4] "g0+"))
+    (line [85, 92, 9, 1]
+      (node [85, 88, 9, 1] "g0+")
+      (node [89, 92, 9, 5] "ai+"))
+    (line [93, 104, 10, 1]
+      (node [93, 96, 10, 1] "ai+")
+      (node [97, 100, 10, 5] "ri-")
+      (node [101, 104, 10, 9] "ro+"))
+    (line [105, 112, 11, 1]
+      (node [105, 108, 11, 1] "ro+")
+      (node [109, 112, 11, 5] "ao+"))
+    (line [113, 119, 12, 1]
+      (node [113, 116, 12, 1] "ao+")
+      (node [117, 119, 12, 5] "l-"))
+    (line [120, 133, 13, 1]
+      (node [120, 122, 13, 1] "l-")
+      (node [123, 126, 13, 4] "ro-")
+      (node [127, 130, 13, 8] "g0-")
+      (node [131, 133, 13, 12] "d-"))
+    (line [134, 143, 14, 1]
+      (node [134, 136, 14, 1] "d-")
+      (node [137, 139, 14, 4] "l+")
+      (node [140, 143, 14, 7] "ai-"))
+    (line [144, 154, 15, 1]
+      (node [144, 147, 15, 1] "g0-")
+      (node [148, 150, 15, 5] "l+")
+      (node [151, 154, 15, 8] "ai-"))
+    (line [155, 162, 16, 1]
+      (node [155, 158, 16, 1] "ri-")
+      (node [159, 162, 16, 5] "ai-"))
+    (line [163, 170, 17, 1]
+      (node [163, 166, 17, 1] "ro-")
+      (node [167, 170, 17, 5] "ai-"))
+    (line [171, 178, 18, 1]
+      (node [171, 174, 18, 1] "ai-")
+      (node [175, 178, 18, 5] "ri+"))
+    (line [179, 186, 19, 1]
+      (node [179, 182, 19, 1] "ro-")
+      (node [183, 186, 19, 5] "ao-"))
+    (line [187, 194, 20, 1]
+      (node [187, 190, 20, 1] "ao-")
+      (node [191, 194, 20, 5] "ro+")))
+  (marking [195, 244, 21, 1]
+    (entry [206, 215, 21, 12] "<ai-,ri+>")
+    (entry [216, 224, 21, 22] "<g0-,l+>")
+    (entry [225, 232, 21, 31] "<d-,l+>")
+    (entry [233, 242, 21, 39] "<ao-,ro+>")))

@@ -1,0 +1,76 @@
+; Compliance dump for `imec-nak-pa`: the lossless parse-event stream of
+; the spec in the S-expression interchange format (see
+; docs/interchange.md). Regenerate with:
+;   UPDATE_GOLDEN=1 cargo test --test compliance
+; si-sexp 1 parse-tree
+(document [0, 0, 1, 1]
+  (model [0, 18, 1, 1] "imec-nak-pa")
+  (inputs [19, 40, 2, 1]
+    (name [27, 30, 2, 9] "req")
+    (name [31, 33, 2, 13] "a0")
+    (name [34, 36, 2, 16] "a1")
+    (name [37, 40, 2, 19] "nak"))
+  (outputs [41, 63, 3, 1]
+    (name [50, 52, 3, 10] "r0")
+    (name [53, 55, 3, 13] "r1")
+    (name [56, 59, 3, 16] "ack")
+    (name [60, 61, 3, 20] "g")
+    (name [62, 63, 3, 22] "h"))
+  (graph [64, 70, 4, 1]
+    (line [71, 78, 5, 1]
+      (node [71, 75, 5, 1] "req+")
+      (node [76, 78, 5, 6] "g+"))
+    (line [79, 85, 6, 1]
+      (node [79, 81, 6, 1] "g+")
+      (node [82, 85, 6, 4] "r0+"))
+    (line [86, 93, 7, 1]
+      (node [86, 89, 7, 1] "r0+")
+      (node [90, 93, 7, 5] "a0+"))
+    (line [94, 101, 8, 1]
+      (node [94, 97, 8, 1] "a0+")
+      (node [98, 101, 8, 5] "r1+"))
+    (line [102, 109, 9, 1]
+      (node [102, 105, 9, 1] "r1+")
+      (node [106, 109, 9, 5] "a1+"))
+    (line [110, 116, 10, 1]
+      (node [110, 113, 10, 1] "a1+")
+      (node [114, 116, 10, 5] "h+"))
+    (line [117, 124, 11, 1]
+      (node [117, 119, 11, 1] "h+")
+      (node [120, 124, 11, 4] "nak+"))
+    (line [125, 134, 12, 1]
+      (node [125, 129, 12, 1] "nak+")
+      (node [130, 134, 12, 6] "ack+"))
+    (line [135, 144, 13, 1]
+      (node [135, 139, 13, 1] "ack+")
+      (node [140, 144, 13, 6] "req-"))
+    (line [145, 156, 14, 1]
+      (node [145, 149, 14, 1] "req-")
+      (node [150, 153, 14, 6] "r0-")
+      (node [154, 156, 14, 10] "h-"))
+    (line [157, 164, 15, 1]
+      (node [157, 160, 15, 1] "r0-")
+      (node [161, 164, 15, 5] "a0-"))
+    (line [165, 172, 16, 1]
+      (node [165, 168, 16, 1] "a0-")
+      (node [169, 172, 16, 5] "r1-"))
+    (line [173, 180, 17, 1]
+      (node [173, 176, 17, 1] "r1-")
+      (node [177, 180, 17, 5] "a1-"))
+    (line [181, 187, 18, 1]
+      (node [181, 184, 18, 1] "a1-")
+      (node [185, 187, 18, 5] "g-"))
+    (line [188, 195, 19, 1]
+      (node [188, 190, 19, 1] "g-")
+      (node [191, 195, 19, 4] "nak-"))
+    (line [196, 205, 20, 1]
+      (node [196, 200, 20, 1] "nak-")
+      (node [201, 205, 20, 6] "ack-"))
+    (line [206, 213, 21, 1]
+      (node [206, 208, 21, 1] "h-")
+      (node [209, 213, 21, 4] "ack-"))
+    (line [214, 223, 22, 1]
+      (node [214, 218, 22, 1] "ack-")
+      (node [219, 223, 22, 6] "req+")))
+  (marking [224, 248, 23, 1]
+    (entry [235, 246, 23, 12] "<ack-,req+>")))

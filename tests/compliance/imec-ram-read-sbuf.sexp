@@ -1,0 +1,134 @@
+; Compliance dump for `imec-ram-read-sbuf`: the lossless parse-event stream of
+; the spec in the S-expression interchange format (see
+; docs/interchange.md). Regenerate with:
+;   UPDATE_GOLDEN=1 cargo test --test compliance
+; si-sexp 1 parse-tree
+(document [0, 0, 1, 1]
+  (model [0, 25, 1, 1] "imec-ram-read-sbuf")
+  (inputs [26, 69, 2, 1]
+    (name [34, 37, 2, 9] "req")
+    (name [38, 48, 2, 13] "precharged")
+    (name [49, 56, 2, 24] "prnotin")
+    (name [57, 62, 2, 32] "wenin")
+    (name [63, 69, 2, 38] "wsldin"))
+  (outputs [70, 102, 3, 1]
+    (name [79, 82, 3, 10] "ack")
+    (name [83, 87, 3, 14] "wsen")
+    (name [88, 93, 3, 19] "prnot")
+    (name [94, 97, 3, 25] "wen")
+    (name [98, 102, 3, 29] "wsld"))
+  (internal [103, 134, 4, 1]
+    (name [113, 117, 4, 11] "csc0")
+    (name [118, 122, 4, 16] "map0")
+    (name [123, 125, 4, 21] "i0")
+    (name [126, 128, 4, 24] "i2")
+    (name [129, 131, 4, 27] "i4")
+    (name [132, 134, 4, 30] "i8"))
+  (graph [135, 141, 5, 1]
+    (line [142, 150, 6, 1]
+      (node [142, 146, 6, 1] "req+")
+      (node [147, 150, 6, 6] "i4+"))
+    (line [151, 161, 7, 1]
+      (node [151, 154, 7, 1] "i4+")
+      (node [155, 161, 7, 5] "prnot+"))
+    (line [162, 177, 8, 1]
+      (node [162, 168, 8, 1] "prnot+")
+      (node [169, 177, 8, 8] "prnotin+"))
+    (line [178, 196, 9, 1]
+      (node [178, 189, 9, 1] "precharged+")
+      (node [190, 196, 9, 13] "prnot+"))
+    (line [197, 210, 10, 1]
+      (node [197, 205, 10, 1] "prnotin+")
+      (node [206, 210, 10, 10] "wen+"))
+    (line [211, 234, 11, 1]
+      (node [211, 215, 11, 1] "wen+")
+      (node [216, 227, 11, 6] "precharged-")
+      (node [228, 234, 11, 18] "wenin+"))
+    (line [235, 250, 12, 1]
+      (node [235, 246, 12, 1] "precharged-")
+      (node [247, 250, 12, 13] "i0-"))
+    (line [251, 259, 13, 1]
+      (node [251, 254, 13, 1] "i0-")
+      (node [255, 259, 13, 5] "ack+"))
+    (line [260, 270, 14, 1]
+      (node [260, 266, 14, 1] "wenin+")
+      (node [267, 270, 14, 8] "i0-"))
+    (line [271, 280, 15, 1]
+      (node [271, 275, 15, 1] "ack+")
+      (node [276, 280, 15, 6] "req-"))
+    (line [281, 294, 16, 1]
+      (node [281, 285, 16, 1] "req-")
+      (node [286, 289, 16, 6] "i8+")
+      (node [290, 294, 16, 10] "wen-"))
+    (line [295, 304, 17, 1]
+      (node [295, 298, 17, 1] "i8+")
+      (node [299, 304, 17, 5] "csc0-"))
+    (line [305, 316, 18, 1]
+      (node [305, 309, 18, 1] "wen-")
+      (node [310, 316, 18, 6] "wenin-"))
+    (line [317, 329, 19, 1]
+      (node [317, 322, 19, 1] "wsen-")
+      (node [323, 329, 19, 7] "wenin-"))
+    (line [330, 350, 20, 1]
+      (node [330, 336, 20, 1] "wenin-")
+      (node [337, 342, 20, 8] "wsld+")
+      (node [343, 346, 20, 14] "i4-")
+      (node [347, 350, 20, 18] "i0+"))
+    (line [351, 359, 21, 1]
+      (node [351, 354, 21, 1] "i0+")
+      (node [355, 359, 21, 5] "ack-"))
+    (line [360, 370, 22, 1]
+      (node [360, 363, 22, 1] "i4-")
+      (node [364, 370, 22, 5] "prnot-"))
+    (line [371, 396, 23, 1]
+      (node [371, 376, 23, 1] "wsld+")
+      (node [377, 384, 23, 7] "wsldin+")
+      (node [385, 396, 23, 15] "precharged+"))
+    (line [397, 410, 24, 1]
+      (node [397, 404, 24, 1] "wsldin+")
+      (node [405, 410, 24, 9] "csc0+"))
+    (line [411, 438, 25, 1]
+      (node [411, 417, 25, 1] "prnot-")
+      (node [418, 426, 25, 8] "prnotin-")
+      (node [427, 438, 25, 17] "precharged+"))
+    (line [439, 451, 26, 1]
+      (node [439, 447, 26, 1] "prnotin-")
+      (node [448, 451, 26, 10] "i8-"))
+    (line [452, 461, 27, 1]
+      (node [452, 455, 27, 1] "i8-")
+      (node [456, 461, 27, 5] "csc0+"))
+    (line [462, 475, 28, 1]
+      (node [462, 467, 28, 1] "wsld-")
+      (node [468, 475, 28, 7] "wsldin-"))
+    (line [476, 495, 29, 1]
+      (node [476, 483, 29, 1] "wsldin-")
+      (node [484, 489, 29, 9] "wsen+")
+      (node [490, 495, 29, 15] "map0+"))
+    (line [496, 505, 30, 1]
+      (node [496, 500, 30, 1] "ack-")
+      (node [501, 505, 30, 6] "req+"))
+    (line [506, 516, 31, 1]
+      (node [506, 511, 31, 1] "wsen+")
+      (node [512, 516, 31, 7] "req+"))
+    (line [517, 532, 32, 1]
+      (node [517, 522, 32, 1] "csc0+")
+      (node [523, 528, 32, 7] "wsld-")
+      (node [529, 532, 32, 13] "i2-"))
+    (line [533, 542, 33, 1]
+      (node [533, 536, 33, 1] "i2-")
+      (node [537, 542, 33, 5] "wsen+"))
+    (line [543, 554, 34, 1]
+      (node [543, 548, 34, 1] "csc0-")
+      (node [549, 554, 34, 7] "map0-"))
+    (line [555, 565, 35, 1]
+      (node [555, 560, 35, 1] "map0+")
+      (node [561, 565, 35, 7] "ack-"))
+    (line [566, 575, 36, 1]
+      (node [566, 571, 36, 1] "map0-")
+      (node [572, 575, 36, 7] "i2+"))
+    (line [576, 585, 37, 1]
+      (node [576, 579, 37, 1] "i2+")
+      (node [580, 585, 37, 5] "wsen-")))
+  (marking [586, 632, 38, 1]
+    (entry [597, 609, 38, 12] "<i4+,prnot+>")
+    (entry [610, 630, 38, 25] "<precharged+,prnot+>")))

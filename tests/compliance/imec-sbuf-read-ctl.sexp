@@ -1,0 +1,54 @@
+; Compliance dump for `imec-sbuf-read-ctl`: the lossless parse-event stream of
+; the spec in the S-expression interchange format (see
+; docs/interchange.md). Regenerate with:
+;   UPDATE_GOLDEN=1 cargo test --test compliance
+; si-sexp 1 parse-tree
+(document [0, 0, 1, 1]
+  (model [0, 25, 1, 1] "imec-sbuf-read-ctl")
+  (inputs [26, 42, 2, 1]
+    (name [34, 37, 2, 9] "req")
+    (name [38, 42, 2, 13] "prin"))
+  (outputs [43, 66, 3, 1]
+    (name [52, 55, 3, 10] "ack")
+    (name [56, 58, 3, 14] "pr")
+    (name [59, 61, 3, 17] "en")
+    (name [62, 66, 3, 20] "done"))
+  (graph [67, 73, 4, 1]
+    (line [74, 82, 5, 1]
+      (node [74, 78, 5, 1] "req+")
+      (node [79, 82, 5, 6] "pr+"))
+    (line [83, 92, 6, 1]
+      (node [83, 86, 6, 1] "pr+")
+      (node [87, 92, 6, 5] "prin+"))
+    (line [93, 102, 7, 1]
+      (node [93, 98, 7, 1] "prin+")
+      (node [99, 102, 7, 7] "en+"))
+    (line [103, 110, 8, 1]
+      (node [103, 106, 8, 1] "en+")
+      (node [107, 110, 8, 5] "pr-"))
+    (line [111, 120, 9, 1]
+      (node [111, 114, 9, 1] "pr-")
+      (node [115, 120, 9, 5] "prin-"))
+    (line [121, 132, 10, 1]
+      (node [121, 126, 10, 1] "prin-")
+      (node [127, 132, 10, 7] "done+"))
+    (line [133, 143, 11, 1]
+      (node [133, 138, 11, 1] "done+")
+      (node [139, 143, 11, 7] "ack+"))
+    (line [144, 153, 12, 1]
+      (node [144, 148, 12, 1] "ack+")
+      (node [149, 153, 12, 6] "req-"))
+    (line [154, 162, 13, 1]
+      (node [154, 158, 13, 1] "req-")
+      (node [159, 162, 13, 6] "en-"))
+    (line [163, 172, 14, 1]
+      (node [163, 166, 14, 1] "en-")
+      (node [167, 172, 14, 5] "done-"))
+    (line [173, 183, 15, 1]
+      (node [173, 178, 15, 1] "done-")
+      (node [179, 183, 15, 7] "ack-"))
+    (line [184, 193, 16, 1]
+      (node [184, 188, 16, 1] "ack-")
+      (node [189, 193, 16, 6] "req+")))
+  (marking [194, 218, 17, 1]
+    (entry [205, 216, 17, 12] "<ack-,req+>")))

@@ -1,0 +1,70 @@
+; Compliance dump for `mp-forward-pkt`: the lossless parse-event stream of
+; the spec in the S-expression interchange format (see
+; docs/interchange.md). Regenerate with:
+;   UPDATE_GOLDEN=1 cargo test --test compliance
+; si-sexp 1 parse-tree
+(document [0, 0, 1, 1]
+  (model [0, 21, 1, 1] "mp-forward-pkt")
+  (inputs [22, 39, 2, 1]
+    (name [30, 33, 2, 9] "req")
+    (name [34, 36, 2, 13] "a0")
+    (name [37, 39, 2, 16] "a1"))
+  (outputs [40, 62, 3, 1]
+    (name [49, 50, 3, 10] "s")
+    (name [51, 53, 3, 12] "r0")
+    (name [54, 55, 3, 15] "t")
+    (name [56, 58, 3, 17] "r1")
+    (name [59, 62, 3, 20] "ack"))
+  (graph [63, 69, 4, 1]
+    (line [70, 77, 5, 1]
+      (node [70, 74, 5, 1] "req+")
+      (node [75, 77, 5, 6] "s+"))
+    (line [78, 84, 6, 1]
+      (node [78, 80, 6, 1] "s+")
+      (node [81, 84, 6, 4] "r0+"))
+    (line [85, 92, 7, 1]
+      (node [85, 88, 7, 1] "r0+")
+      (node [89, 92, 7, 5] "a0+"))
+    (line [93, 99, 8, 1]
+      (node [93, 96, 8, 1] "a0+")
+      (node [97, 99, 8, 5] "t+"))
+    (line [100, 110, 9, 1]
+      (node [100, 102, 9, 1] "t+")
+      (node [103, 106, 9, 4] "r0-")
+      (node [107, 110, 9, 8] "r1+"))
+    (line [111, 118, 10, 1]
+      (node [111, 114, 10, 1] "r0-")
+      (node [115, 118, 10, 5] "a0-"))
+    (line [119, 126, 11, 1]
+      (node [119, 122, 11, 1] "r1+")
+      (node [123, 126, 11, 5] "a1+"))
+    (line [127, 135, 12, 1]
+      (node [127, 130, 12, 1] "a1+")
+      (node [131, 135, 12, 5] "ack+"))
+    (line [136, 149, 13, 1]
+      (node [136, 140, 13, 1] "ack+")
+      (node [141, 144, 13, 6] "r1-")
+      (node [145, 149, 13, 10] "req-"))
+    (line [150, 157, 14, 1]
+      (node [150, 153, 14, 1] "r1-")
+      (node [154, 157, 14, 5] "a1-"))
+    (line [158, 165, 15, 1]
+      (node [158, 162, 15, 1] "req-")
+      (node [163, 165, 15, 6] "s-"))
+    (line [166, 171, 16, 1]
+      (node [166, 168, 16, 1] "s-")
+      (node [169, 171, 16, 4] "t-"))
+    (line [172, 179, 17, 1]
+      (node [172, 174, 17, 1] "t-")
+      (node [175, 179, 17, 4] "ack-"))
+    (line [180, 189, 18, 1]
+      (node [180, 184, 18, 1] "ack-")
+      (node [185, 189, 18, 6] "req+"))
+    (line [190, 196, 19, 1]
+      (node [190, 193, 19, 1] "a0-")
+      (node [194, 196, 19, 5] "s-"))
+    (line [197, 203, 20, 1]
+      (node [197, 200, 20, 1] "a1-")
+      (node [201, 203, 20, 5] "t-")))
+  (marking [204, 228, 21, 1]
+    (entry [215, 226, 21, 12] "<ack-,req+>")))

@@ -1,0 +1,58 @@
+; Compliance dump for `nowick`: the lossless parse-event stream of
+; the spec in the S-expression interchange format (see
+; docs/interchange.md). Regenerate with:
+;   UPDATE_GOLDEN=1 cargo test --test compliance
+; si-sexp 1 parse-tree
+(document [0, 0, 1, 1]
+  (model [0, 13, 1, 1] "nowick")
+  (inputs [14, 27, 2, 1]
+    (name [22, 23, 2, 9] "a")
+    (name [24, 25, 2, 11] "b")
+    (name [26, 27, 2, 13] "c"))
+  (outputs [28, 42, 3, 1]
+    (name [37, 38, 3, 10] "x")
+    (name [39, 40, 3, 12] "y")
+    (name [41, 42, 3, 14] "z"))
+  (graph [43, 49, 4, 1]
+    (line [50, 58, 5, 1]
+      (node [50, 52, 5, 1] "p0")
+      (node [53, 55, 5, 4] "a+")
+      (node [56, 58, 5, 7] "b+"))
+    (line [59, 64, 6, 1]
+      (node [59, 61, 6, 1] "a+")
+      (node [62, 64, 6, 4] "x+"))
+    (line [65, 70, 7, 1]
+      (node [65, 67, 7, 1] "x+")
+      (node [68, 70, 7, 4] "c+"))
+    (line [71, 76, 8, 1]
+      (node [71, 73, 8, 1] "c+")
+      (node [74, 76, 8, 4] "y+"))
+    (line [77, 82, 9, 1]
+      (node [77, 79, 9, 1] "y+")
+      (node [80, 82, 9, 4] "a-"))
+    (line [83, 88, 10, 1]
+      (node [83, 85, 10, 1] "a-")
+      (node [86, 88, 10, 4] "x-"))
+    (line [89, 94, 11, 1]
+      (node [89, 91, 11, 1] "x-")
+      (node [92, 94, 11, 4] "y-"))
+    (line [95, 100, 12, 1]
+      (node [95, 97, 12, 1] "y-")
+      (node [98, 100, 12, 4] "c-"))
+    (line [101, 106, 13, 1]
+      (node [101, 103, 13, 1] "c-")
+      (node [104, 106, 13, 4] "p0"))
+    (line [107, 112, 14, 1]
+      (node [107, 109, 14, 1] "b+")
+      (node [110, 112, 14, 4] "z+"))
+    (line [113, 118, 15, 1]
+      (node [113, 115, 15, 1] "z+")
+      (node [116, 118, 15, 4] "b-"))
+    (line [119, 124, 16, 1]
+      (node [119, 121, 16, 1] "b-")
+      (node [122, 124, 16, 4] "z-"))
+    (line [125, 130, 17, 1]
+      (node [125, 127, 17, 1] "z-")
+      (node [128, 130, 17, 4] "p0")))
+  (marking [131, 146, 18, 1]
+    (entry [142, 144, 18, 12] "p0")))

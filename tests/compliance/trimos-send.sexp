@@ -1,0 +1,78 @@
+; Compliance dump for `trimos-send`: the lossless parse-event stream of
+; the spec in the S-expression interchange format (see
+; docs/interchange.md). Regenerate with:
+;   UPDATE_GOLDEN=1 cargo test --test compliance
+; si-sexp 1 parse-tree
+(document [0, 0, 1, 1]
+  (model [0, 18, 1, 1] "trimos-send")
+  (inputs [19, 36, 2, 1]
+    (name [27, 30, 2, 9] "req")
+    (name [31, 33, 2, 13] "am")
+    (name [34, 36, 2, 16] "ad"))
+  (outputs [37, 65, 3, 1]
+    (name [46, 48, 3, 10] "g0")
+    (name [49, 51, 3, 13] "rm")
+    (name [52, 54, 3, 16] "g1")
+    (name [55, 57, 3, 19] "rd")
+    (name [58, 60, 3, 22] "g2")
+    (name [61, 65, 3, 25] "done"))
+  (graph [66, 72, 4, 1]
+    (line [73, 81, 5, 1]
+      (node [73, 77, 5, 1] "req+")
+      (node [78, 81, 5, 6] "g0+"))
+    (line [82, 89, 6, 1]
+      (node [82, 85, 6, 1] "g0+")
+      (node [86, 89, 6, 5] "rm+"))
+    (line [90, 97, 7, 1]
+      (node [90, 93, 7, 1] "rm+")
+      (node [94, 97, 7, 5] "am+"))
+    (line [98, 105, 8, 1]
+      (node [98, 101, 8, 1] "am+")
+      (node [102, 105, 8, 5] "g1+"))
+    (line [106, 113, 9, 1]
+      (node [106, 109, 9, 1] "g1+")
+      (node [110, 113, 9, 5] "rd+"))
+    (line [114, 121, 10, 1]
+      (node [114, 117, 10, 1] "rd+")
+      (node [118, 121, 10, 5] "ad+"))
+    (line [122, 129, 11, 1]
+      (node [122, 125, 11, 1] "ad+")
+      (node [126, 129, 11, 5] "g2+"))
+    (line [130, 139, 12, 1]
+      (node [130, 133, 12, 1] "g2+")
+      (node [134, 139, 12, 5] "done+"))
+    (line [140, 154, 13, 1]
+      (node [140, 145, 13, 1] "done+")
+      (node [146, 149, 13, 7] "g0-")
+      (node [150, 154, 13, 11] "req-"))
+    (line [155, 166, 14, 1]
+      (node [155, 158, 14, 1] "g0-")
+      (node [159, 162, 14, 5] "rm-")
+      (node [163, 166, 14, 9] "g1-"))
+    (line [167, 174, 15, 1]
+      (node [167, 170, 15, 1] "rm-")
+      (node [171, 174, 15, 5] "am-"))
+    (line [175, 186, 16, 1]
+      (node [175, 178, 16, 1] "g1-")
+      (node [179, 182, 16, 5] "rd-")
+      (node [183, 186, 16, 9] "g2-"))
+    (line [187, 194, 17, 1]
+      (node [187, 190, 17, 1] "rd-")
+      (node [191, 194, 17, 5] "ad-"))
+    (line [195, 204, 18, 1]
+      (node [195, 198, 18, 1] "g2-")
+      (node [199, 204, 18, 5] "done-"))
+    (line [205, 214, 19, 1]
+      (node [205, 208, 19, 1] "am-")
+      (node [209, 214, 19, 5] "done-"))
+    (line [215, 224, 20, 1]
+      (node [215, 218, 20, 1] "ad-")
+      (node [219, 224, 20, 5] "done-"))
+    (line [225, 235, 21, 1]
+      (node [225, 229, 21, 1] "req-")
+      (node [230, 235, 21, 6] "done-"))
+    (line [236, 246, 22, 1]
+      (node [236, 241, 22, 1] "done-")
+      (node [242, 246, 22, 7] "req+")))
+  (marking [247, 272, 23, 1]
+    (entry [258, 270, 23, 12] "<done-,req+>")))

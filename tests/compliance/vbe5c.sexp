@@ -1,0 +1,69 @@
+; Compliance dump for `vbe5c`: the lossless parse-event stream of
+; the spec in the S-expression interchange format (see
+; docs/interchange.md). Regenerate with:
+;   UPDATE_GOLDEN=1 cargo test --test compliance
+; si-sexp 1 parse-tree
+(document [0, 0, 1, 1]
+  (model [0, 12, 1, 1] "vbe5c")
+  (inputs [13, 26, 2, 1]
+    (name [21, 22, 2, 9] "a")
+    (name [23, 24, 2, 11] "b")
+    (name [25, 26, 2, 13] "c"))
+  (outputs [27, 45, 3, 1]
+    (name [36, 37, 3, 10] "x")
+    (name [38, 39, 3, 12] "y")
+    (name [40, 41, 3, 14] "z")
+    (name [42, 43, 3, 16] "w")
+    (name [44, 45, 3, 18] "v"))
+  (graph [46, 52, 4, 1]
+    (line [53, 58, 5, 1]
+      (node [53, 55, 5, 1] "a+")
+      (node [56, 58, 5, 4] "x+"))
+    (line [59, 64, 6, 1]
+      (node [59, 61, 6, 1] "x+")
+      (node [62, 64, 6, 4] "y+"))
+    (line [65, 70, 7, 1]
+      (node [65, 67, 7, 1] "y+")
+      (node [68, 70, 7, 4] "b+"))
+    (line [71, 76, 8, 1]
+      (node [71, 73, 8, 1] "b+")
+      (node [74, 76, 8, 4] "z+"))
+    (line [77, 82, 9, 1]
+      (node [77, 79, 9, 1] "z+")
+      (node [80, 82, 9, 4] "c+"))
+    (line [83, 88, 10, 1]
+      (node [83, 85, 10, 1] "c+")
+      (node [86, 88, 10, 4] "w+"))
+    (line [89, 94, 11, 1]
+      (node [89, 91, 11, 1] "w+")
+      (node [92, 94, 11, 4] "v+"))
+    (line [95, 100, 12, 1]
+      (node [95, 97, 12, 1] "v+")
+      (node [98, 100, 12, 4] "a-"))
+    (line [101, 106, 13, 1]
+      (node [101, 103, 13, 1] "a-")
+      (node [104, 106, 13, 4] "x-"))
+    (line [107, 112, 14, 1]
+      (node [107, 109, 14, 1] "x-")
+      (node [110, 112, 14, 4] "y-"))
+    (line [113, 118, 15, 1]
+      (node [113, 115, 15, 1] "y-")
+      (node [116, 118, 15, 4] "b-"))
+    (line [119, 127, 16, 1]
+      (node [119, 121, 16, 1] "b-")
+      (node [122, 124, 16, 4] "z-")
+      (node [125, 127, 16, 7] "w-"))
+    (line [128, 133, 17, 1]
+      (node [128, 130, 17, 1] "z-")
+      (node [131, 133, 17, 4] "c-"))
+    (line [134, 139, 18, 1]
+      (node [134, 136, 18, 1] "c-")
+      (node [137, 139, 18, 4] "v-"))
+    (line [140, 145, 19, 1]
+      (node [140, 142, 19, 1] "w-")
+      (node [143, 145, 19, 4] "v-"))
+    (line [146, 151, 20, 1]
+      (node [146, 148, 20, 1] "v-")
+      (node [149, 151, 20, 4] "a+")))
+  (marking [152, 172, 21, 1]
+    (entry [163, 170, 21, 12] "<v-,a+>")))

@@ -1,0 +1,13 @@
+# `äck` transitions appear in `.graph` but `äck` is never declared.
+# Non-ASCII signal names and a tab-indented graph line: columns count
+# characters (not bytes) and the caret prefix keeps the tab, so the
+# carets land exactly under `äck+` in any tab-width rendering.
+.model si004u
+.inputs möde
+.graph
+	möde+ äck+
+äck+ möde-
+möde- äck-
+äck- möde+
+.marking { <äck-,möde+> }
+.end

@@ -191,6 +191,7 @@ fn bench_order_ablation(c: &mut Criterion) {
     for (name, order) in [
         ("tightest_first", RelaxationOrder::TightestFirst),
         ("lexicographic", RelaxationOrder::Lexicographic),
+        ("contraction_first", RelaxationOrder::ContractionFirst),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
@@ -204,6 +205,35 @@ fn bench_order_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_relax_sched(c: &mut Criterion) {
+    // The trial scheduler's payoff on the canonical diverging specimen
+    // (seed 189, gate `o2`): the old harness answer — exhaust a clamped
+    // 400-iteration budget — against the scheduler's watchdog bail-out at
+    // the real default budget. Both runs end in an error by design; the
+    // measurement is the wall clock to reach the deterministic verdict.
+    use si_core::DivergencePolicy;
+    use si_corpus::{generate, CorpusSpec};
+    let spec = CorpusSpec::from_seed(189, 12);
+    let circuit = generate(&spec, 189);
+    let library = si_synth::synthesize(&circuit.stg, EngineConfig::default().global_sg_budget)
+        .expect("seed 189 synthesizes");
+    let mut group = c.benchmark_group("relax_sched");
+    group.sample_size(10);
+    group.bench_function("seed189_exhaust_budget400", |b| {
+        let engine = Engine::new(EngineConfig {
+            expand_budget: 400,
+            divergence_policy: DivergencePolicy::Exhaust,
+            ..EngineConfig::default()
+        });
+        b.iter(|| engine.run(&circuit.stg, &library).expect_err("exhausts"))
+    });
+    group.bench_function("seed189_scheduler_bail", |b| {
+        let engine = Engine::new(EngineConfig::default());
+        b.iter(|| engine.run(&circuit.stg, &library).expect_err("diverges"))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_derivation,
@@ -211,6 +241,7 @@ criterion_group!(
     bench_engine_suite_batch,
     bench_incremental_regeneration,
     bench_baseline_only,
-    bench_order_ablation
+    bench_order_ablation,
+    bench_relax_sched
 );
 criterion_main!(benches);

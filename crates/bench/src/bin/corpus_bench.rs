@@ -119,8 +119,8 @@ fn main() -> ExitCode {
     let generated = generated.elapsed();
 
     // Sequential reference: fresh engine, explicit row-order loop. All
-    // engines run under the harness relaxation budget — see
-    // `si_corpus::harness_config` for why corpus sweeps cap it.
+    // engines run with the divergence bail-out forced on — see
+    // `si_corpus::harness_config` for why corpus sweeps need it.
     let seq_engine = Engine::new(harness_config(EngineConfig::default()));
     let seq_started = Instant::now();
     let seq: Vec<CorpusOutcome> = manifest

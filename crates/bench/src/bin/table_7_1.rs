@@ -71,6 +71,9 @@ fn main() {
                 TraceEvent::Fallback { gate, reason } => {
                     println!("  [{gate}] fallback: {reason}");
                 }
+                TraceEvent::Diverged { gate, witness } => {
+                    println!("  [{gate}] diverged: {witness}");
+                }
             }
         }
     } else {

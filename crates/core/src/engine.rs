@@ -49,6 +49,7 @@ use crate::expand::{
 use crate::local::{GateContext, LocalStg};
 use crate::paths::AdversaryOracle;
 use crate::report::{ConstraintReport, GateReport};
+use crate::sched::{DivergencePolicy, DEFAULT_DIVERGENCE_WINDOW};
 
 /// Default per-gate relaxation-iteration budget (convergence is proven;
 /// this guards malformed inputs).
@@ -123,6 +124,17 @@ pub struct EngineConfig {
     /// ([`Engine::run_source`] only — [`Engine::run`] takes already-parsed
     /// inputs and never lints).
     pub lint: LintPolicy,
+    /// Sliding-window length of the trial scheduler's contraction
+    /// watchdog: the loop bails when no new strict minimum of the
+    /// relaxable-arc count appears for this many iterations while the
+    /// trial state graph is not shrinking. `0` disables the watchdog (the
+    /// repeated-state ledger still runs).
+    pub divergence_window: usize,
+    /// What the relaxation loop does when the trial scheduler detects a
+    /// non-converging gate: bail with [`CoreError::Diverged`]
+    /// (the default) or exhaust the iteration budget (the historical
+    /// behaviour, kept by [`EngineConfig::reference`]).
+    pub divergence_policy: DivergencePolicy,
 }
 
 impl Default for EngineConfig {
@@ -144,6 +156,8 @@ impl Default for EngineConfig {
             incremental_classify: true,
             sigma_cold: true,
             lint: LintPolicy::Warn,
+            divergence_window: DEFAULT_DIVERGENCE_WINDOW,
+            divergence_policy: DivergencePolicy::Bail,
         }
     }
 }
@@ -151,9 +165,9 @@ impl Default for EngineConfig {
 impl EngineConfig {
     /// The reference configuration: sequential, uncached, no incremental
     /// regeneration or classification, no projection memo, no σ-space cold
-    /// exploration — the exact code path of the original monolithic
-    /// driver. Differential tests compare every other configuration
-    /// against this one.
+    /// exploration, no divergence bail-out — the exact code path of the
+    /// original monolithic driver. Differential tests compare every other
+    /// configuration against this one.
     pub fn reference() -> Self {
         Self {
             cache: false,
@@ -162,6 +176,7 @@ impl EngineConfig {
             incremental_classify: false,
             sigma_cold: false,
             lint: LintPolicy::Off,
+            divergence_policy: DivergencePolicy::Exhaust,
             ..Self::default()
         }
     }
@@ -263,6 +278,13 @@ pub struct StageMetrics {
     /// Fresh verdicts computed by verdict-copying incremental
     /// classification (subset of [`StageMetrics::conf_cache_misses`]).
     pub conf_inc_classified: usize,
+    /// Distinct local-STG fingerprints recorded by the trial scheduler's
+    /// progress ledger.
+    pub sched_fingerprints: usize,
+    /// Gates aborted by the scheduler's repeated-state cycle detector.
+    pub sched_cycle_bails: usize,
+    /// Gates aborted by the scheduler's contraction watchdog.
+    pub sched_watchdog_bails: usize,
 }
 
 impl StageMetrics {
@@ -280,6 +302,9 @@ impl StageMetrics {
             conf_cache_hits: 0,
             conf_cache_misses: 0,
             conf_inc_classified: 0,
+            sched_fingerprints: 0,
+            sched_cycle_bails: 0,
+            sched_watchdog_bails: 0,
         }
     }
 }
@@ -319,6 +344,14 @@ pub struct GateMetrics {
     /// Fresh verdicts computed by verdict-copying incremental
     /// classification (subset of [`GateMetrics::conf_cache_misses`]).
     pub conf_inc_classified: usize,
+    /// Distinct local-STG fingerprints recorded by the trial scheduler's
+    /// progress ledger for this gate.
+    pub sched_fingerprints: usize,
+    /// Loop instances of this gate aborted by the repeated-state cycle
+    /// detector.
+    pub sched_cycle_bails: usize,
+    /// Loop instances of this gate aborted by the contraction watchdog.
+    pub sched_watchdog_bails: usize,
 }
 
 /// The extended result of an engine run: the classic [`ConstraintReport`]
@@ -720,6 +753,9 @@ impl Engine {
             relax_metrics.conf_cache_hits += run.metrics.conf_cache_hits - project_conf_hits;
             relax_metrics.conf_cache_misses += run.metrics.conf_cache_misses - project_conf_misses;
             relax_metrics.conf_inc_classified += run.metrics.conf_inc_classified;
+            relax_metrics.sched_fingerprints += run.metrics.sched_fingerprints;
+            relax_metrics.sched_cycle_bails += run.metrics.sched_cycle_bails;
+            relax_metrics.sched_watchdog_bails += run.metrics.sched_watchdog_bails;
             gates.push(run.metrics);
         }
         let merge_metrics = StageMetrics::timed(Stage::Merge, t.elapsed());
@@ -914,6 +950,8 @@ impl Engine {
             conformance: &self.conformance,
             incremental: cfg.incremental,
             incremental_classify: cfg.incremental_classify,
+            divergence_window: cfg.divergence_window,
+            divergence_policy: cfg.divergence_policy,
         };
         for (local, sg, report) in locals {
             // The pre-check's graph and report are the first predecessor:
@@ -938,6 +976,9 @@ impl Engine {
             conf_cache_hits: out.conf_cache_hits,
             conf_cache_misses: out.conf_cache_misses,
             conf_inc_classified: out.conf_inc_classified,
+            sched_fingerprints: out.sched_fingerprints,
+            sched_cycle_bails: out.sched_cycle_bails,
+            sched_watchdog_bails: out.sched_watchdog_bails,
         };
         Ok(GateRun {
             name: name.clone(),

@@ -3,6 +3,8 @@ use std::fmt;
 
 use si_stg::StgError;
 
+use crate::sched::DivergenceWitness;
+
 /// Errors reported by the constraint-derivation engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoreError {
@@ -66,6 +68,17 @@ pub enum CoreError {
         /// The exhausted budget.
         budget: usize,
     },
+    /// The trial scheduler classified the per-gate relaxation loop as
+    /// non-converging under [`DivergencePolicy::Bail`](crate::DivergencePolicy::Bail):
+    /// the gate would burn its whole iteration budget without reaching a
+    /// fixpoint. Deterministic — the same circuit diverges with the same
+    /// witness under every engine configuration.
+    Diverged {
+        /// The gate being expanded.
+        gate: String,
+        /// Which detector fired, when, and the trailing arc sequence.
+        witness: DivergenceWitness,
+    },
     /// A relaxation produced a state the four-case criterion cannot
     /// classify soundly (should not happen for live/safe/consistent
     /// inputs; reported rather than mis-handled).
@@ -114,6 +127,9 @@ impl fmt::Display for CoreError {
                     f,
                     "relaxation of gate `{gate}` exceeded {budget} iterations"
                 )
+            }
+            CoreError::Diverged { gate, witness } => {
+                write!(f, "relaxation of gate `{gate}` diverged: {witness}")
             }
             CoreError::Unresolved { gate, detail } => {
                 write!(f, "unresolved relaxation state at gate `{gate}`: {detail}")

@@ -34,6 +34,7 @@ use crate::orcausality::{
 };
 use crate::paths::AdversaryOracle;
 use crate::relax::relax_arc;
+use crate::sched::{DivergencePolicy, TrialScheduler, DEFAULT_DIVERGENCE_WINDOW};
 
 /// Default state-graph generation budget for local STGs
 /// ([`crate::EngineConfig::local_sg_budget`]).
@@ -69,6 +70,12 @@ pub(crate) struct ExpandCtx<'a> {
     /// outside the affected cone from the predecessor's report
     /// ([`classify_states_from`]) instead of sweeping from scratch.
     pub incremental_classify: bool,
+    /// Sliding-window length of the trial scheduler's contraction
+    /// watchdog (0 disables the watchdog; the progress ledger still runs).
+    pub divergence_window: usize,
+    /// Whether the trial scheduler bails on detected divergence or lets
+    /// the loop exhaust its iteration budget.
+    pub divergence_policy: DivergencePolicy,
 }
 
 impl<'a> ExpandCtx<'a> {
@@ -90,6 +97,12 @@ impl<'a> ExpandCtx<'a> {
             conformance,
             incremental: false,
             incremental_classify: false,
+            divergence_window: DEFAULT_DIVERGENCE_WINDOW,
+            // The compatibility wrappers (and through them the monolithic
+            // `derive_timing_constraints`) keep the historical
+            // exhaust-the-budget semantics: they are the differential
+            // oracle the scheduler is measured against.
+            divergence_policy: DivergencePolicy::Exhaust,
         }
     }
 
@@ -189,6 +202,13 @@ pub enum RelaxationOrder {
     TightestFirst,
     /// Naive textual order of arc labels — the ablation baseline.
     Lexicographic,
+    /// Contraction first: prefer the arc whose relaxation inserts the
+    /// fewest new bypass arcs into the MG (the best proxy for "does not
+    /// grow the state graph" that needs no trial), tightness as the
+    /// tie-break. Pairs with the trial scheduler: picking low-growth arcs
+    /// first keeps converging gates converging and exposes true
+    /// non-contraction sooner.
+    ContractionFirst,
 }
 
 /// One step of the relaxation trace (the thesis Fig. 7.3 narrative).
@@ -200,8 +220,10 @@ pub enum TraceEvent {
         gate: String,
         /// Rendered arc `x* => y*`.
         arc: String,
-        /// The classification outcome (`1`–`4`, or `lagging`).
-        case: String,
+        /// The classification outcome (`1`–`4`, or `lagging`). A static
+        /// tag: the hot loop pushes one of these per iteration and must
+        /// not allocate for it.
+        case: &'static str,
     },
     /// Case 2 accepted after additionally relaxing `x ⇒ o`.
     MadeConcurrentWithOutput {
@@ -229,6 +251,14 @@ pub enum TraceEvent {
         /// Why the fallback fired.
         reason: String,
     },
+    /// The trial scheduler classified the relaxation loop as diverging
+    /// and the gate bailed out.
+    Diverged {
+        /// The gate being expanded.
+        gate: String,
+        /// The rendered [`crate::DivergenceWitness`].
+        witness: String,
+    },
 }
 
 impl std::fmt::Display for TraceEvent {
@@ -250,6 +280,9 @@ impl std::fmt::Display for TraceEvent {
             }
             TraceEvent::Fallback { gate, reason } => {
                 write!(f, "fallback [{gate}] {reason}")
+            }
+            TraceEvent::Diverged { gate, witness } => {
+                write!(f, "diverge [{gate}] {witness}")
             }
         }
     }
@@ -286,6 +319,15 @@ pub struct ExpandOutcome {
     /// classification instead of a scratch sweep (a subset of
     /// [`ExpandOutcome::conf_cache_misses`]).
     pub conf_inc_classified: usize,
+    /// Distinct local-STG fingerprints the trial scheduler's progress
+    /// ledger recorded (0 under [`DivergencePolicy::Exhaust`]).
+    pub sched_fingerprints: usize,
+    /// Gates aborted by the ledger's cycle detector (repeated σ-key with
+    /// an unchanged guaranteed set).
+    pub sched_cycle_bails: usize,
+    /// Gates aborted by the contraction watchdog (a full window without a
+    /// new strict minimum of the relaxable-arc count).
+    pub sched_watchdog_bails: usize,
 }
 
 fn atom(local: &LocalStg, label: TransitionLabel) -> ConstraintAtom {
@@ -309,10 +351,32 @@ fn emit_constraint(local: &mut LocalStg, x: usize, y: usize, out: &mut ExpandOut
     local.mark_guaranteed(x, y);
 }
 
-/// Picks the next arc to relax under the chosen policy (Sec. 5.5);
-/// tightest-first breaks weight ties by label text for determinism.
+/// Net bypass-arc count `relax_arc` would insert when relaxing `x ⇒ y`:
+/// the preds(x) ⇒ y and x ⇒ succs(y) arcs not already present, minus the
+/// removed arc itself. A cheap static proxy for how much the trial grows
+/// the MG (and with it the local state graph) — computed without cloning
+/// or relaxing anything.
+fn relaxation_growth(mg: &si_stg::MgStg, x: usize, y: usize) -> i64 {
+    let mut inserted = -1i64;
+    for b in mg.preds(x) {
+        if b != y && mg.arc(b, y).is_none() {
+            inserted += 1;
+        }
+    }
+    for d in mg.succs(y) {
+        if d != x && mg.arc(x, d).is_none() {
+            inserted += 1;
+        }
+    }
+    inserted
+}
+
+/// Picks the next arc to relax under the chosen policy (Sec. 5.5) from
+/// the caller-supplied relaxable set; weight ties break by label text for
+/// determinism.
 fn find_next_arc(
     local: &LocalStg,
+    arcs: &[(usize, usize)],
     oracle: &AdversaryOracle,
     order: RelaxationOrder,
 ) -> Option<(usize, usize)> {
@@ -320,15 +384,19 @@ fn find_next_arc(
     // label_string(b))`, but renders label text only on weight ties and
     // into reused buffers — this runs once per relaxation iteration over
     // every relaxable arc, so per-arc `String`s dominate otherwise.
-    let mut best: Option<((bool, u32), (usize, usize))> = None;
+    let mut best: Option<((i64, (bool, u32)), (usize, usize))> = None;
     let (mut best_a, mut best_b) = (String::new(), String::new());
     let (mut cand_a, mut cand_b) = (String::new(), String::new());
-    for (a, b) in local.relaxable_arcs() {
+    for &(a, b) in arcs {
         let weight = match order {
             RelaxationOrder::TightestFirst => {
-                oracle.weight_key(local.mg.label(a), local.mg.label(b))
+                (0, oracle.weight_key(local.mg.label(a), local.mg.label(b)))
             }
-            RelaxationOrder::Lexicographic => (false, 0),
+            RelaxationOrder::Lexicographic => (0, (false, 0)),
+            RelaxationOrder::ContractionFirst => (
+                relaxation_growth(&local.mg, a, b),
+                oracle.weight_key(local.mg.label(a), local.mg.label(b)),
+            ),
         };
         let better = match best {
             None => true,
@@ -414,6 +482,13 @@ fn expand_at(
     prev: Option<(Arc<StateGraph>, ConformanceReport)>,
 ) -> Result<(), CoreError> {
     let gate = gate_name(local);
+    // One scheduler per loop instance: every decomposition sub-STG and
+    // every fallback resume (each constraint emitted is progress) starts
+    // with a fresh ledger and watchdog window.
+    let mut sched = TrialScheduler::new(ctx.divergence_policy, ctx.divergence_window);
+    // The arc label is rendered into this buffer, reused across
+    // iterations; the trace clones it once, exact-size.
+    let mut arc_text = String::new();
     // The state graph of the current `local.mg` and its conformance
     // report, threaded through the loop so every trial regenerates — and
     // reclassifies — incrementally from its predecessor.
@@ -426,13 +501,22 @@ fn expand_at(
                 budget: ctx.iteration_budget,
             });
         }
-        let Some((x, y)) = find_next_arc(local, ctx.oracle, ctx.order) else {
+        let arcs = local.relaxable_arcs();
+        let Some((x, y)) = find_next_arc(local, &arcs, ctx.oracle, ctx.order) else {
             return Ok(());
         };
-        let mut arc_text = String::new();
+        arc_text.clear();
         local.mg.write_label(x, &mut arc_text);
         arc_text.push_str(" => ");
         local.mg.write_label(y, &mut arc_text);
+
+        // The scheduler observes the *pre-trial* loop state; captured
+        // here, consumed after classification so the trace still records
+        // the iteration that tripped it. All inputs are cache- and
+        // parallelism-independent, so a divergence verdict is identical
+        // across the whole engine configuration matrix.
+        let observed = (ctx.divergence_policy == DivergencePolicy::Bail)
+            .then(|| (local.mg.sg_fingerprint(), local.guaranteed.len(), arcs.len()));
 
         // Epre is computed on the STG *before* this relaxation.
         let epre = prerequisite_sets(local);
@@ -443,16 +527,31 @@ fn expand_at(
         let (case, report) = ctx.classify(&trial, &sg, &epre, Some(x), prev_verdicts, out)?;
         out.trace.push(TraceEvent::Relaxed {
             gate: gate.clone(),
-            arc: arc_text,
+            arc: arc_text.clone(),
             case: match case {
                 RelaxationCase::Case1 => "1",
                 RelaxationCase::Case2 => "2",
                 RelaxationCase::Case3 => "3",
                 RelaxationCase::Case4 => "4",
                 RelaxationCase::LaggingOnly => "lagging",
-            }
-            .to_string(),
+            },
         });
+        if let Some((fingerprint, guaranteed, relaxable)) = observed {
+            if let Some(witness) = sched.observe(
+                fingerprint,
+                guaranteed,
+                relaxable,
+                &arc_text,
+                sg.state_count(),
+                out,
+            ) {
+                out.trace.push(TraceEvent::Diverged {
+                    gate: gate.clone(),
+                    witness: witness.to_string(),
+                });
+                return Err(CoreError::Diverged { gate, witness });
+            }
+        }
 
         match case {
             RelaxationCase::Case1 => {

@@ -80,6 +80,7 @@ mod padding;
 mod paths;
 mod relax;
 mod report;
+mod sched;
 
 pub use cache::{CacheStats, ConformanceCache, ProjCache, SgCache, SgSource};
 pub use check::{
@@ -103,4 +104,7 @@ pub use paths::{AdversaryOracle, AdversaryPath};
 pub use relax::relax_arc;
 pub use report::{
     derive_timing_constraints, derive_timing_constraints_with_order, ConstraintReport, GateReport,
+};
+pub use sched::{
+    DivergenceKind, DivergencePolicy, DivergenceWitness, DEFAULT_DIVERGENCE_WINDOW,
 };

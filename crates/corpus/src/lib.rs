@@ -38,24 +38,23 @@ pub use spec::{
     corpus_name, generate, generate_named, CorpusSpec, GeneratedCircuit, MarkingStyle, Reproducer,
 };
 
-/// Relaxation-iteration budget for corpus-scale harnesses
-/// ([`harness_config`]).
-pub const HARNESS_EXPAND_BUDGET: usize = 400;
-
-/// Caps `base`'s relaxation-iteration budget for corpus-scale sweeps.
+/// Forces the divergence bail-out for corpus-scale sweeps.
 ///
 /// A small fraction of generated circuits (high-concurrency fork shapes —
 /// `corpus-000000bd`, seed 189, is the canonical specimen) drive the
 /// per-gate relaxation loop into superlinear blowup: each trial grows the
-/// local STG, so the default 20 000-iteration budget translates to hours
-/// on one circuit. Harnesses that sweep thousands of circuits (`si_fuzz`,
-/// `corpus_bench`, the differential suites) cap the budget instead;
-/// overruns surface as ordinary deterministic [`si_core::CoreError`]
-/// values, which differential comparison covers like any other payload.
-/// Apply the same cap to *both* engines of a differential pair.
+/// local STG, so exhausting an iteration budget translates to hours on
+/// one circuit. Historically harnesses capped `expand_budget` at 400;
+/// since the trial scheduler landed they run at the real default budget
+/// and rely on [`si_core::DivergencePolicy::Bail`], which aborts a
+/// non-converging gate within one watchdog window. Divergences surface as
+/// ordinary deterministic [`si_core::CoreError::Diverged`] values, which
+/// differential comparison covers like any other payload — the verdict
+/// (gate and witness) is independent of caching, parallelism and warmth,
+/// so apply the same policy to *both* engines of a differential pair.
 pub fn harness_config(base: si_core::EngineConfig) -> si_core::EngineConfig {
     si_core::EngineConfig {
-        expand_budget: HARNESS_EXPAND_BUDGET,
+        divergence_policy: si_core::DivergencePolicy::Bail,
         ..base
     }
 }

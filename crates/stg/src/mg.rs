@@ -172,6 +172,48 @@ impl MgStg {
         }
     }
 
+    /// A cheap 64-bit fingerprint of exactly the content [`MgStg::sg_key`]
+    /// canonicalizes — the initial code, the alive transitions with ids
+    /// and labels, and the arc skeleton with token counts — computed by
+    /// streaming FNV-1a with no allocation, stable across runs and
+    /// platforms.
+    ///
+    /// Equal [`SgKey`]s always yield equal fingerprints; the converse
+    /// holds only up to 64-bit collision odds, so use the fingerprint
+    /// where a (vanishingly unlikely, but deterministic) false merge is
+    /// tolerable — e.g. the relaxation scheduler's progress ledger, which
+    /// fingerprints every visited graph once per iteration and must not
+    /// pay `sg_key`'s two `Vec` allocations there.
+    pub fn sg_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.initial_code);
+        for (t, label) in self.transitions.iter().enumerate() {
+            if let Some(l) = label {
+                mix(t as u64);
+                mix(l.signal.0 as u64);
+                mix(match l.polarity {
+                    crate::Polarity::Plus => 1,
+                    crate::Polarity::Minus => 2,
+                });
+                mix(u64::from(l.occurrence));
+            }
+        }
+        for (&(a, b), attr) in &self.arcs {
+            mix(a as u64);
+            mix(b as u64);
+            mix(u64::from(attr.tokens));
+        }
+        h
+    }
+
     /// Overrides the initial state code.
     pub fn set_initial_code(&mut self, code: u64) {
         self.initial_code = code;
@@ -718,6 +760,38 @@ mod tests {
         .into_iter()
         .collect();
         (mg, names)
+    }
+
+    #[test]
+    fn fingerprint_tracks_sg_key() {
+        let (mg, names) = sr_latch_local();
+        // Stable across calls, and a clone fingerprints identically.
+        assert_eq!(mg.sg_fingerprint(), mg.sg_fingerprint());
+        assert_eq!(mg.sg_fingerprint(), mg.clone().sg_fingerprint());
+        // Equal keys ⟹ equal fingerprints even across different edit
+        // histories: removing an arc and re-inserting it lands back on
+        // the same canonical content.
+        let before = mg.sg_fingerprint();
+        let mut edited = mg.clone();
+        edited.remove_arc(names["b-"], names["a-"]);
+        assert_ne!(edited.sg_fingerprint(), before, "an edit must show up");
+        edited.insert_arc(names["b-"], names["a-"], 0, false);
+        assert_eq!(edited.sg_key(), mg.sg_key());
+        assert_eq!(edited.sg_fingerprint(), before);
+        // Token counts and the initial code are part of the content;
+        // restriction flags are not (matching `SgKey`).
+        let mut tokens = mg.clone();
+        tokens.remove_arc(names["b-"], names["a-"]);
+        tokens.insert_arc(names["b-"], names["a-"], 1, false);
+        assert_ne!(tokens.sg_fingerprint(), before);
+        let mut code = mg.clone();
+        code.set_initial_code(1);
+        assert_ne!(code.sg_fingerprint(), before);
+        let mut restricted = mg.clone();
+        restricted.remove_arc(names["b-"], names["a-"]);
+        restricted.insert_arc(names["b-"], names["a-"], 0, true);
+        assert_eq!(restricted.sg_key(), mg.sg_key());
+        assert_eq!(restricted.sg_fingerprint(), before);
     }
 
     #[test]

@@ -34,7 +34,7 @@ OPTIONS:
                           corpus circuit for that seed instead — the
                           canonical spec derivation at 12 signals max,
                           synthesized netlist, and the corpus-harness
-                          relaxation budget, exactly as `si_fuzz` and
+                          divergence bail-out, exactly as `si_fuzz` and
                           `corpus_bench` name them
         --lint            strict lint pre-flight: refuse to derive when
                           the specification has lint errors (the default
@@ -44,7 +44,9 @@ OPTIONS:
     -f, --format <FMT>    output format: text (default), json or sexp
                           (the S-expression constraint report of
                           docs/interchange.md)
-        --order <ORDER>   relaxation order: tightest (default) or lex
+        --order <ORDER>   relaxation order: tightest (default), lex or
+                          contraction (prefer arcs whose relaxation
+                          inserts the fewest new bypass arcs)
         --no-cache        disable state-graph memoization
         --no-incremental  regenerate every relaxation trial's state graph
                           from scratch instead of deriving it from its
@@ -124,7 +126,12 @@ fn parse_args(argv: &[String]) -> ArgsOutcome {
             "--order" => match it.next().map(String::as_str) {
                 Some("tightest") => config.order = RelaxationOrder::TightestFirst,
                 Some("lex") => config.order = RelaxationOrder::Lexicographic,
-                _ => return ArgsOutcome::Error("--order expects `tightest` or `lex`".into()),
+                Some("contraction") => config.order = RelaxationOrder::ContractionFirst,
+                _ => {
+                    return ArgsOutcome::Error(
+                        "--order expects `tightest`, `lex` or `contraction`".into(),
+                    )
+                }
             },
             "--no-cache" => config.cache = false,
             "--no-incremental" => config.incremental = false,
@@ -223,8 +230,9 @@ fn run(args: &Args) -> Result<bool, String> {
                 .parse()
                 .map_err(|_| format!("`{name}`: expected `corpus:<seed>` with a numeric seed"))?;
             // Mirror the fuzz harness exactly: canonical spec derivation,
-            // fuzz signal bound, capped relaxation budget — so a fuzz
-            // reproducer's circuit can be inspected under the same knobs.
+            // fuzz signal bound, divergence bail-out at the default
+            // budget — so a fuzz reproducer's circuit can be inspected
+            // under the same knobs.
             let engine = Engine::new(si_redress::corpus::harness_config(args.config));
             let spec = si_redress::corpus::CorpusSpec::from_seed(seed, 12);
             let circuit = si_redress::corpus::generate(&spec, seed);
@@ -306,7 +314,7 @@ fn render_json(out: &EngineReport, elapsed: f64) -> String {
     };
     let stages = json_list(&out.stages, |s| {
         format!(
-            "{{\"stage\":{},\"wall_us\":{},\"states_explored\":{},\"sg_cache_hits\":{},\"sg_cache_misses\":{},\"sg_delta_hits\":{},\"sg_inc_derived\":{},\"proj_memo_hits\":{},\"proj_memo_misses\":{},\"conf_cache_hits\":{},\"conf_cache_misses\":{},\"conf_inc_classified\":{}}}",
+            "{{\"stage\":{},\"wall_us\":{},\"states_explored\":{},\"sg_cache_hits\":{},\"sg_cache_misses\":{},\"sg_delta_hits\":{},\"sg_inc_derived\":{},\"proj_memo_hits\":{},\"proj_memo_misses\":{},\"conf_cache_hits\":{},\"conf_cache_misses\":{},\"conf_inc_classified\":{},\"sched_fingerprints\":{},\"sched_cycle_bails\":{},\"sched_watchdog_bails\":{}}}",
             json_str(s.stage.name()),
             s.wall.as_micros(),
             s.states_explored,
@@ -319,11 +327,14 @@ fn render_json(out: &EngineReport, elapsed: f64) -> String {
             s.conf_cache_hits,
             s.conf_cache_misses,
             s.conf_inc_classified,
+            s.sched_fingerprints,
+            s.sched_cycle_bails,
+            s.sched_watchdog_bails,
         )
     });
     let gates = json_list(&out.gates, |g| {
         format!(
-            "{{\"gate\":{},\"project_us\":{},\"relax_us\":{},\"iterations\":{},\"states_explored\":{},\"sg_cache_hits\":{},\"sg_cache_misses\":{},\"sg_delta_hits\":{},\"sg_inc_derived\":{},\"proj_memo_hits\":{},\"proj_memo_misses\":{},\"conf_cache_hits\":{},\"conf_cache_misses\":{},\"conf_inc_classified\":{}}}",
+            "{{\"gate\":{},\"project_us\":{},\"relax_us\":{},\"iterations\":{},\"states_explored\":{},\"sg_cache_hits\":{},\"sg_cache_misses\":{},\"sg_delta_hits\":{},\"sg_inc_derived\":{},\"proj_memo_hits\":{},\"proj_memo_misses\":{},\"conf_cache_hits\":{},\"conf_cache_misses\":{},\"conf_inc_classified\":{},\"sched_fingerprints\":{},\"sched_cycle_bails\":{},\"sched_watchdog_bails\":{}}}",
             json_str(&g.gate),
             g.project_wall.as_micros(),
             g.relax_wall.as_micros(),
@@ -338,6 +349,9 @@ fn render_json(out: &EngineReport, elapsed: f64) -> String {
             g.conf_cache_hits,
             g.conf_cache_misses,
             g.conf_inc_classified,
+            g.sched_fingerprints,
+            g.sched_cycle_bails,
+            g.sched_watchdog_bails,
         )
     });
     let lint = format!(

@@ -312,9 +312,12 @@ fn main() -> ExitCode {
     // workers — exactly how a corpus batch exercises the reuse tiers —
     // while the reference engine is stateless by construction. Hits are
     // re-verified with fresh cold engines before being reported. Both
-    // sides run under the harness relaxation budget (see
-    // `si_corpus::harness_config`): pathological fork shapes would
-    // otherwise spend hours in one circuit's relaxation loop.
+    // sides run with the divergence bail-out forced on (see
+    // `si_corpus::harness_config`) at the real default iteration budget:
+    // pathological fork shapes abort deterministically within one
+    // watchdog window instead of spending hours in one circuit's
+    // relaxation loop, and the `Diverged` verdict is itself a compared
+    // payload.
     let full = Engine::new(harness_config(EngineConfig::default()));
     let reference = Engine::new(harness_config(EngineConfig::reference()));
     let next = AtomicU64::new(args.start);

@@ -22,8 +22,8 @@
 use std::fs;
 use std::path::PathBuf;
 
-use si_redress::core::{derive_timing_constraints, Engine, EngineConfig};
-use si_redress::corpus::{generate_named, CorpusSpec, MarkingStyle};
+use si_redress::core::{derive_timing_constraints, CoreError, Engine, EngineConfig};
+use si_redress::corpus::{generate, generate_named, CorpusSpec, MarkingStyle};
 use si_redress::synth::synthesize;
 
 fn golden_path(name: &str) -> PathBuf {
@@ -204,6 +204,62 @@ fn golden_snapshots_pin_the_reference_output_for_corpus_fixtures() {
     }
 }
 
+/// Seed 189 (`corpus-000000bd`) is the canonical diverging specimen: one
+/// gate's relaxation loop never converges, and before the trial scheduler
+/// it burned whatever iteration budget it was given (the old 400-cap
+/// still cost ~1 s; the default 20 000 budget meant hours). The regression
+/// contract pinned here: at the *default* budget the full derivation
+/// terminates deterministically, in well under a second, with a
+/// `Diverged` verdict whose rendering — gate, detector, iteration and
+/// trailing arc sequence — is golden-pinned.
+#[test]
+fn golden_snapshot_pins_the_seed_189_divergence() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let name = "corpus-000000bd-diverged";
+    let spec = CorpusSpec::from_seed(189, 12);
+    let circuit = generate(&spec, 189);
+    let library = synthesize(&circuit.stg, EngineConfig::default().global_sg_budget)
+        .expect("seed 189 synthesizes");
+    let engine = Engine::new(EngineConfig::default());
+    let started = std::time::Instant::now();
+    let err = engine
+        .run(&circuit.stg, &library)
+        .expect_err("seed 189 must not converge");
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(err, CoreError::Diverged { .. }),
+        "expected a Diverged verdict, got: {err}"
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(1),
+        "seed 189 must bail in under a second at the default budget, took {elapsed:?}"
+    );
+    // A second, warm run of the same engine must reach the identical
+    // verdict: the scheduler's inputs are cache-independent.
+    assert_eq!(err, engine.run(&circuit.stg, &library).expect_err("warm"));
+
+    let path = golden_path(name);
+    let rendered = format!("{}{err}\n", header(name));
+    if update {
+        fs::write(&path, &rendered)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot `{}`: {e}\n\
+             run `UPDATE_GOLDEN=1 cargo test --test golden` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        expected,
+        "golden divergence verdict drifted for `{name}` ({}).\n{}",
+        path.display(),
+        first_diff(&rendered, &expected),
+    );
+}
+
 #[test]
 fn golden_directory_has_no_stale_snapshots() {
     // Every file in tests/golden must correspond to a bundled benchmark:
@@ -214,6 +270,7 @@ fn golden_directory_has_no_stale_snapshots() {
         .map(|b| b.name)
         .collect();
     names.extend(corpus_fixtures().iter().map(|(name, _, _)| *name));
+    names.push("corpus-000000bd-diverged");
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
     for entry in fs::read_dir(&dir).expect("golden directory exists") {
         let path = entry.expect("readable entry").path();
